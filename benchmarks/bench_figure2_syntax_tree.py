@@ -1,0 +1,50 @@
+"""Figure 2: the syntax tree of Requirement Req-17.
+
+The paper's Figure 2 decomposes "When auto-control mode is entered,
+eventually the cuff will be inflated." into a ``when`` subclause
+(subject "auto-control mode", predicate "is entered") and a main clause
+with the ``eventually`` modifier (subject "the cuff", predicate "will be
+inflated").  This benchmark regenerates and prints the tree and asserts
+the published structure node by node.
+"""
+
+from __future__ import annotations
+
+from repro.nlp import parse_sentence, render_sentence, syntax_tree
+
+REQ_17 = "When auto-control mode is entered, eventually the cuff will be inflated."
+
+
+def test_figure2_structure(capsys):
+    sentence = parse_sentence(REQ_17)
+    tree = syntax_tree(sentence)
+
+    # Figure 2, top level: sentence -> subclause + clause.
+    assert tree.label == "sentence"
+    assert [child.label for child in tree.children] == ["subclause", "clause"]
+
+    subclause, main = tree.children
+    # subclause -> subordinator "when" + clause(subject, predicate).
+    assert subclause.children[0].label == "subordinator"
+    assert subclause.children[0].text == "when"
+    inner = subclause.children[1]
+    subject = next(c for c in inner.children if c.label == "subject")
+    predicate = next(c for c in inner.children if c.label == "predicate")
+    assert subject.text == "auto_control_mode"
+    assert "enter" in predicate.text
+
+    # main clause -> modifier "eventually" + subject "cuff" + predicate.
+    labels = [c.label for c in main.children]
+    assert labels == ["modifier", "subject", "predicate"]
+    assert main.children[0].text == "eventually"
+    assert main.children[1].text == "cuff"
+    assert "inflate" in main.children[2].text
+
+    with capsys.disabled():
+        print("\nFigure 2 — syntax tree of Req-17")
+        print(render_sentence(sentence))
+
+
+def test_figure2_parse_benchmark(benchmark):
+    sentence = benchmark(parse_sentence, REQ_17)
+    assert len(sentence.pre) == 1

@@ -1,0 +1,90 @@
+"""Table I, CARA block: mode switching (row 0) + 13 component rows.
+
+Paper reference (DATE'15 Table I):
+
+    0      Working mode and switching    30  22  28  34s   consistent
+    1      Pump Monitor                  20   9  14   2s   consistent
+    2.1.1  BPM: cuff detector            14  13  12   1s   consistent
+    ...    (see EXPERIMENTS.md for the full row list)
+    3.2    (PA) Polling algorithm        56  12  20  11s   consistent
+
+Every row is re-run end to end: structured English -> LTL (with semantic
+reasoning and time abstraction) -> realizability.  Formula/input/output
+counts are compared against the paper; all rows must come out consistent.
+Absolute times differ (pure-Python engines vs the authors' Java G4LTL);
+the verdicts and scales are the reproduced quantities.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.casestudies import component_requirements, mode_switching_requirements
+
+from .conftest import HEADER, table_row
+
+PAPER_ROWS = {
+    "0 Working mode and switching": (30, 22, 28, 34),
+    "1 Pump Monitor": (20, 9, 14, 2),
+    "2.1.1 BPM: cuff detector": (14, 13, 12, 1),
+    "2.1.2 BPM: AL detector": (15, 11, 14, 2),
+    "2.1.3 BPM: pulse wave detector": (14, 9, 12, 1),
+    "2.2.1 BPM: initial auto control": (16, 14, 15, 1),
+    "2.2.2 BPM: first corroboration": (19, 11, 16, 29),
+    "2.2.3 BPM: valid ctrl blood pressure": (13, 11, 10, 2),
+    "2.2.4 BPM: cuff source handler": (11, 9, 10, 2),
+    "2.2.5 BPM: arterial line blood pressure": (16, 9, 13, 1),
+    "2.2.6 BPM: arterial line corroboration": (12, 8, 13, 1),
+    "2.2.7 BPM: pulse wave handler": (20, 10, 21, 23),
+    "3.1 (PA) Model ctrl algorithm": (9, 15, 11, 3),
+    "3.2 (PA) Polling algorithm": (56, 12, 20, 11),
+}
+
+ROW_IDS = {
+    "1": "1 Pump Monitor",
+    "2.1.1": "2.1.1 BPM: cuff detector",
+    "2.1.2": "2.1.2 BPM: AL detector",
+    "2.1.3": "2.1.3 BPM: pulse wave detector",
+    "2.2.1": "2.2.1 BPM: initial auto control",
+    "2.2.2": "2.2.2 BPM: first corroboration",
+    "2.2.3": "2.2.3 BPM: valid ctrl blood pressure",
+    "2.2.4": "2.2.4 BPM: cuff source handler",
+    "2.2.5": "2.2.5 BPM: arterial line blood pressure",
+    "2.2.6": "2.2.6 BPM: arterial line corroboration",
+    "2.2.7": "2.2.7 BPM: pulse wave handler",
+    "3.1": "3.1 (PA) Model ctrl algorithm",
+    "3.2": "3.2 (PA) Polling algorithm",
+}
+
+
+def test_table1_cara_rows(paper_tool, capsys):
+    rows = [("0 Working mode and switching", mode_switching_requirements())]
+    components = component_requirements()
+    rows.extend((ROW_IDS[row], reqs) for row, reqs in components.items())
+
+    lines = [HEADER]
+    for name, requirements in rows:
+        start = time.perf_counter()
+        report = paper_tool.check(requirements)
+        seconds = time.perf_counter() - start
+        spec = report.translation
+        lines.append(table_row(name, spec, report, seconds))
+        paper_formulas, paper_in, paper_out, paper_seconds = PAPER_ROWS[name]
+        assert report.consistent, name
+        assert len(spec.requirements) == paper_formulas, name
+        if name != "0 Working mode and switching":
+            # Component scales are exact; row 0's variable counts depend on
+            # proposition naming and deviate slightly (see EXPERIMENTS.md).
+            assert spec.num_inputs == paper_in, name
+            assert spec.num_outputs == paper_out, name
+    with capsys.disabled():
+        print("\nTable I — CARA block (paper: all consistent)")
+        print("\n".join(lines))
+
+
+def test_cara_mode_switching_benchmark(paper_tool, benchmark):
+    requirements = mode_switching_requirements()
+    report = benchmark(paper_tool.check, requirements)
+    assert report.consistent

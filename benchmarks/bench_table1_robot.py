@@ -1,0 +1,71 @@
+"""Table I, Robot block: the rescue-robot scenario of Kress-Gazit et al.
+
+Paper reference:
+
+    1  A robot with 4 rooms       9  2   5  1s  consistent
+    2  A robot with 9 rooms      14  2  10  1s  consistent
+    3  Two robots with 5 rooms   25  2  11  7s  consistent
+
+All instances must be consistent; the two-robot instance is the hardest
+(mutual-exclusion constraints couple the two robots' positions), matching
+the paper's slowest robot row.  A scaling sweep beyond the published
+instances is included as well.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.casestudies import TABLE_INSTANCES, robot_requirements
+
+from .conftest import HEADER, table_row
+
+PAPER_ROWS = {
+    "1": (9, 2, 5, 1),
+    "2": (14, 2, 10, 1),
+    "3": (25, 2, 11, 7),
+}
+
+
+def test_table1_robot_rows(paper_tool, capsys):
+    lines = [HEADER]
+    times = {}
+    for row, (robots, rooms) in TABLE_INSTANCES.items():
+        requirements = robot_requirements(robots, rooms)
+        start = time.perf_counter()
+        report = paper_tool.check(requirements)
+        seconds = time.perf_counter() - start
+        times[row] = seconds
+        spec = report.translation
+        label = f"{row} {robots} robot(s), {rooms} rooms"
+        lines.append(table_row(label, spec, report, seconds))
+        paper_formulas, paper_in, paper_out, _ = PAPER_ROWS[row]
+        assert report.consistent, row
+        assert len(spec.requirements) == paper_formulas, row
+        assert spec.num_inputs == paper_in, row
+        assert spec.num_outputs == paper_out, row
+    with capsys.disabled():
+        print("\nTable I — Robot block (paper: all consistent, 2-robot slowest)")
+        print("\n".join(lines))
+
+
+def test_robot_scaling_sweep(paper_tool, capsys):
+    """Beyond Table I: scale rooms and robots further."""
+    lines = [HEADER]
+    for robots, rooms in [(1, 15), (2, 8), (3, 5)]:
+        requirements = robot_requirements(robots, rooms)
+        start = time.perf_counter()
+        report = paper_tool.check(requirements)
+        seconds = time.perf_counter() - start
+        label = f"sweep {robots} robot(s), {rooms} rooms"
+        lines.append(table_row(label, report.translation, report, seconds))
+        assert report.consistent, (robots, rooms)
+    with capsys.disabled():
+        print("\nRobot scaling sweep (extension beyond Table I)")
+        print("\n".join(lines))
+
+
+def test_two_robot_benchmark(paper_tool, benchmark):
+    requirements = robot_requirements(2, 5)
+    report = benchmark(paper_tool.check, requirements)
+    assert report.consistent

@@ -1,0 +1,27 @@
+"""Shared helpers for the Table I / figure benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SpecCC, SpecCCConfig, TranslationOptions
+
+
+@pytest.fixture(scope="session")
+def paper_tool() -> SpecCC:
+    """SpecCC configured like the paper's prototype: the translator drops
+    the "next" marker (as the appendix gold formulas do) and the optimal
+    time abstraction runs with the running example's budget B=5."""
+    return SpecCC(SpecCCConfig(translation=TranslationOptions(next_as_x=False)))
+
+
+def table_row(name: str, spec, report, seconds: float) -> str:
+    """One Table I row: name, #formulas, #inputs, #outputs, time."""
+    return (
+        f"{name:<40} {len(spec.requirements):>4} "
+        f"{spec.num_inputs:>4} {spec.num_outputs:>4} "
+        f"{report.verdict.value:>12} {seconds:>8.3f}s"
+    )
+
+
+HEADER = f"{'Specification':<40} {'frm':>4} {'in':>4} {'out':>4} {'verdict':>12} {'time':>9}"

@@ -1,0 +1,40 @@
+"""Quickstart: check a small natural-language specification with SpecCC.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SpecCC
+from repro.nlp import parse_sentence, render_sentence
+
+SPECIFICATION = """
+# An elevator door controller, in structured English.
+When the call button is pressed, eventually the door is opened.
+If the obstacle sensor is active, the door is not opened.
+If the door is opened, next the door lamp is activated.
+"""
+
+
+def main() -> None:
+    tool = SpecCC()
+    report = tool.check_document(SPECIFICATION)
+
+    print("=== syntax tree of the first requirement (cf. paper Figure 2) ===")
+    print(render_sentence(parse_sentence(
+        "When the call button is pressed, eventually the door is opened."
+    )))
+
+    print("\n=== translated LTL ===")
+    for requirement in report.translation.requirements:
+        print(f"  [{requirement.identifier}] {requirement.formula}")
+
+    print("\n=== consistency report ===")
+    print(report.summary())
+
+    if report.controllers:
+        print("\n=== synthesized controller(s) ===")
+        for machine in report.controllers:
+            print(machine.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""SpecCC — formal consistency checking over specifications in natural
+languages.
+
+A from-scratch reproduction of Yan, Cheng, Zhang & Chai (DATE 2015): a
+structured-English-to-LTL translator with semantic reasoning and time
+abstraction, an LTL synthesis back end for realizability-based consistency
+checking, and the heuristic refinement loop connecting them.
+
+Quickstart::
+
+    from repro import SpecCC
+
+    tool = SpecCC()
+    report = tool.check_document(
+        '''
+        When the button is pressed, eventually the door is opened.
+        If the alarm is active, the door is not opened.
+        '''
+    )
+    print(report.summary())
+"""
+
+from .core.pipeline import ConsistencyReport, SpecCC, SpecCCConfig
+from .logic import parse as parse_ltl
+from .synthesis.realizability import Engine, SynthesisLimits, Verdict
+from .translate.templates import TranslationOptions
+from .translate.timeabs import AbstractionMethod
+from .translate.translator import Translator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractionMethod",
+    "ConsistencyReport",
+    "Engine",
+    "SpecCC",
+    "SpecCCConfig",
+    "SynthesisLimits",
+    "TranslationOptions",
+    "Translator",
+    "Verdict",
+    "parse_ltl",
+    "__version__",
+]

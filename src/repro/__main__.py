@@ -1,0 +1,88 @@
+"""Command-line interface: ``python -m repro check <requirements.txt>``.
+
+Runs the full SpecCC pipeline on a plain-text requirement document (one
+sentence per line, ``#`` comments allowed) and prints the consistency
+report; ``--ltl`` additionally prints the translated formulas, ``--tree``
+the syntax trees, and ``--controllers`` the synthesized Mealy machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.pipeline import SpecCC, SpecCCConfig
+from .nlp import parse_sentence, render_sentence, split_sentences
+from .translate import AbstractionMethod, TranslationOptions
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SpecCC: consistency checking of natural-language specifications",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    check = sub.add_parser("check", help="check one requirement document")
+    check.add_argument("document", type=Path, help="requirement text file")
+    check.add_argument("--ltl", action="store_true", help="print translated LTL")
+    check.add_argument("--tree", action="store_true", help="print syntax trees")
+    check.add_argument(
+        "--controllers", action="store_true", help="print synthesized machines"
+    )
+    check.add_argument(
+        "--abstraction",
+        choices=[method.value for method in AbstractionMethod],
+        default=AbstractionMethod.OPTIMAL.value,
+        help="time abstraction method (default: optimal)",
+    )
+    check.add_argument(
+        "--error-bound", type=int, default=5, help="budget B of Eq. (2)"
+    )
+    check.add_argument(
+        "--keep-next",
+        action="store_true",
+        help="translate the 'next' marker as an X operator (the paper drops it)",
+    )
+    return parser
+
+
+def run_check(args: argparse.Namespace) -> int:
+    text = args.document.read_text()
+    config = SpecCCConfig(
+        translation=TranslationOptions(next_as_x=args.keep_next),
+        abstraction=AbstractionMethod(args.abstraction),
+        error_bound=args.error_bound,
+    )
+    tool = SpecCC(config)
+
+    if args.tree:
+        for sentence in split_sentences(text):
+            print(render_sentence(parse_sentence(sentence)))
+            print()
+
+    report = tool.check_document(text)
+    if args.ltl:
+        print("translated LTL:")
+        for requirement in report.translation.requirements:
+            print(f"  [{requirement.identifier}] {requirement.formula}")
+        print()
+    print(report.summary())
+    if args.controllers and report.controllers:
+        print()
+        for machine in report.controllers:
+            print(machine.describe())
+    return 0 if report.consistent else 1
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "check":
+        return run_check(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""The paper's three case studies: CARA, TELEPROMISE, rescue robots."""
+
+from .cara import (
+    COMPONENT_DESCRIPTORS,
+    GOLD_FORMULAS,
+    MODE_SWITCHING_REQUIREMENTS,
+    component_requirements,
+    mode_switching_requirements,
+)
+from .generator import ComponentDescriptor, generate, noun_pool
+from .robot import TABLE_INSTANCES, robot_requirements
+from .telepromise import (
+    APPLICATION_DESCRIPTORS,
+    INITIALLY_FAILING_ROWS,
+    PARTITION_FAULTS,
+    application_requirements,
+)
+
+__all__ = [
+    "APPLICATION_DESCRIPTORS",
+    "COMPONENT_DESCRIPTORS",
+    "ComponentDescriptor",
+    "GOLD_FORMULAS",
+    "INITIALLY_FAILING_ROWS",
+    "MODE_SWITCHING_REQUIREMENTS",
+    "PARTITION_FAULTS",
+    "TABLE_INSTANCES",
+    "application_requirements",
+    "component_requirements",
+    "generate",
+    "mode_switching_requirements",
+    "noun_pool",
+    "robot_requirements",
+]

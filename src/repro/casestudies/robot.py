@@ -1,0 +1,90 @@
+"""The rescue-robot case study (Table I, bottom block).
+
+"The responsibility of the robots in this scenario is to look for the
+injured people and take them to a medic who is in some room.  Different
+numbers of rooms and robots have been considered here, with the constraint
+that two robots cannot be in the same room at the same time."
+
+:func:`robot_requirements` generates the scenario parametrically; the
+three Table I instances are (1 robot, 4 rooms) — 9 formulas, 2 inputs,
+5 outputs —, (1 robot, 9 rooms) — 14/2/10 — and (2 robots, 5 rooms) —
+25/2/11.  Robot positions are modelled with ``in room j`` complements
+("robot 1 is in room 3" -> ``in_room_3_robot_1``), the two inputs are the
+victim-detected and medic-ready signals, and mutual exclusion appears as
+implications between robot positions.  The single-robot instances fall
+into the obligation fragment; the two-robot instance does not (the
+exclusion constraints conflict with joint goal discharge), forcing the
+exact safety-game engine — which is why it is the slowest robot row, as in
+the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+def robot_requirements(robots: int, rooms: int) -> List[Tuple[str, str]]:
+    """The rescue scenario for *robots* robots and *rooms* rooms."""
+    if robots < 1 or rooms < 2:
+        raise ValueError("need at least one robot and two rooms")
+    requirements: List[Tuple[str, str]] = []
+    # Search goals: every room must eventually be visited after a victim
+    # is detected.
+    for robot in range(1, robots + 1):
+        for room in range(1, rooms + 1):
+            requirements.append(
+                (
+                    f"visit-r{robot}-room{room}",
+                    f"If a victim is detected, eventually robot {robot} is in room {room}.",
+                )
+            )
+    # Mutual exclusion between robots, one requirement per room.
+    if robots >= 2:
+        for room in range(1, rooms + 1):
+            requirements.append(
+                (
+                    f"mutex-room{room}",
+                    f"If robot 1 is in room {room}, robot 2 is not in room {room}.",
+                )
+            )
+    # Delivery: the victim is carried to the medic's room (room 1).
+    requirements.append(
+        ("carry", "If a victim is detected, eventually the victim is carried.")
+    )
+    for robot in range(1, min(robots, 2) + 1):
+        requirements.append(
+            (
+                f"medic-r{robot}",
+                f"If the medic is ready, eventually robot {robot} is in room {robot}.",
+            )
+        )
+    # Patrol chains: progress through neighbouring rooms.
+    chains = _chain_budget(robots, rooms)
+    count = 0
+    for robot in range(1, robots + 1):
+        for room in range(1, rooms):
+            if count >= chains:
+                break
+            requirements.append(
+                (
+                    f"chain-r{robot}-room{room}",
+                    f"If robot {robot} is in room {room}, eventually robot {robot} is in room {room + 1}.",
+                )
+            )
+            count += 1
+    return requirements
+
+
+def _chain_budget(robots: int, rooms: int) -> int:
+    """Number of patrol-chain requirements matching the Table I counts."""
+    if robots == 1:
+        return 3  # 4 rooms -> 9 formulas; 9 rooms -> 14 formulas
+    return 7  # 2 robots, 5 rooms -> 25 formulas
+
+
+#: The three Table I instances: row id -> (robots, rooms).
+TABLE_INSTANCES: Dict[str, Tuple[int, int]] = {
+    "1": (1, 4),
+    "2": (1, 9),
+    "3": (2, 5),
+}

@@ -1,0 +1,154 @@
+"""The TELEPROMISE case study (Table I, middle block).
+
+The functional specification of the TELEPROMISE demonstrator covered five
+generic applications (Shopping, Article processing, On-line reservation,
+Information, Local bulletin board); the document itself is no longer
+available (the paper's URL is dead), so the five requirement sets are
+generated at the published Table I scales.
+
+The paper reports that "G4LTL failed to generate controllers for the last
+two specifications.  The failure was caused by the classification of input
+and output variables.  After locating the problem and modifying the
+input/output variable partition, the specifications are consistent."  The
+*Information* and *Local bulletin board* sets therefore embed a
+requirement pair whose status variable the Section IV-F heuristic
+classifies as an input (it only ever appears in conditions), although it
+must be system-controlled: treated adversarially the pair is
+unrealizable, and SpecCC's partition-repair step (Section V-B) moves the
+variable to the outputs and re-checks successfully — reproducing the
+published failure/repair behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .generator import ComponentDescriptor, generate, noun_pool
+
+#: The requirement pairs that reproduce the published partition failures.
+#: (application, status variable the heuristic misclassifies)
+PARTITION_FAULTS: Tuple[Tuple[str, str], ...] = (
+    ("information", "active_session"),
+    ("local-bulletin-board", "active_guest_mode"),
+)
+
+APPLICATION_DESCRIPTORS: Tuple[Tuple[str, ComponentDescriptor], ...] = (
+    (
+        "1",
+        ComponentDescriptor(
+            name="shopping",
+            num_formulas=29,
+            input_nouns=noun_pool("shop line", 11, (
+                "customer card", "basket total", "item stock", "payment gateway",
+                "delivery slot", "discount code", "customer account",
+                "checkout request", "cancel request", "catalog service",
+                "session token",
+            )),
+            output_nouns=noun_pool("shop action", 24, (
+                "order record", "payment receipt", "stock reservation",
+                "delivery booking", "order confirmation", "invoice page",
+                "basket display", "discount note", "cancel receipt",
+                "refund order", "catalog page", "pick list", "dispatch note",
+                "customer letter", "audit entry", "stock alert",
+                "payment retry", "order banner", "session log",
+                "checkout page", "warehouse ticket", "courier request",
+                "vat record", "loyalty credit",
+            )),
+            timed=((17, 5),),
+            eventual=(6, 20),
+        ),
+    ),
+    (
+        "2",
+        ComponentDescriptor(
+            name="article-processing",
+            num_formulas=17,
+            input_nouns=noun_pool("article line", 3, (
+                "manuscript upload", "review verdict", "editor decision",
+            )),
+            output_nouns=noun_pool("article action", 13, (
+                "submission record", "review request", "author letter",
+                "revision ticket", "acceptance note", "rejection note",
+                "typeset job", "proof page", "publication entry",
+                "issue listing", "archive copy", "doi record", "editor log",
+            )),
+            eventual=(8,),
+        ),
+    ),
+    (
+        "3",
+        ComponentDescriptor(
+            name="online-reservation",
+            num_formulas=6,
+            input_nouns=noun_pool("reservation line", 3, (
+                "seat request", "cancel notice", "payment token",
+            )),
+            output_nouns=noun_pool("reservation action", 4, (
+                "seat hold", "booking record", "ticket issue", "refund note",
+            )),
+        ),
+    ),
+    (
+        "4",
+        ComponentDescriptor(
+            name="information",
+            num_formulas=15,
+            input_nouns=noun_pool("info line", 6, (
+                "search query", "topic index", "news feed", "user profile",
+                "archive request", "category filter",
+            )),
+            output_nouns=noun_pool("info action", 13, (
+                "search listing", "topic page", "news digest", "profile page",
+                "archive view", "category menu", "usage record",
+                "suggestion box", "feedback form", "help page",
+                "subscription note", "info banner", "index refresh",
+            )),
+            extra=(
+                ("information-14", "If the session is active, the result page is displayed."),
+                ("information-15", "If the maintenance notice is posted, the result page is not displayed."),
+            ),
+        ),
+    ),
+    (
+        "5",
+        ComponentDescriptor(
+            name="local-bulletin-board",
+            num_formulas=17,
+            input_nouns=noun_pool("board line", 5, (
+                "post submission", "member login", "report notice",
+                "sticky request", "search box",
+            )),
+            output_nouns=noun_pool("board action", 15, (
+                "post record", "thread listing", "member page", "report ticket",
+                "sticky banner", "search result", "moderation log",
+                "digest mail", "archive thread", "welcome note",
+                "board header", "post counter", "rule page", "tag menu",
+                "draft store",
+            )),
+            extra=(
+                ("board-16", "If the moderation queue is busy, the board page is updated."),
+                ("board-17", "If the guest mode is active, the board page is not updated."),
+            ),
+        ),
+    ),
+)
+
+#: Table I name per application row.
+ROW_NAMES: Dict[str, str] = {
+    "1": "Shopping",
+    "2": "Article processing",
+    "3": "On-line reservation",
+    "4": "Information",
+    "5": "Local bulletin board",
+}
+
+#: Rows the paper reports as initially failing (partition fault).
+INITIALLY_FAILING_ROWS: Tuple[str, ...] = ("4", "5")
+
+
+def application_requirements() -> Dict[str, List[Tuple[str, str]]]:
+    """Requirement sets for the five TELEPROMISE applications."""
+    return {
+        row: generate(descriptor)
+        for row, descriptor in APPLICATION_DESCRIPTORS
+    }

@@ -1,0 +1,238 @@
+"""SpecCC: the requirement-consistency maintenance framework (Figure 1).
+
+The pipeline chains the three stages of the paper:
+
+1. **Translation** — structured English requirements are parsed, reasoned
+   over semantically (Algorithm 1), translated to LTL, time-abstracted
+   (Section IV-E) and partitioned into inputs/outputs (Section IV-F).
+2. **Realizability** — the conjunction is checked by LTL synthesis; success
+   yields a controller per variable-connected component, i.e. the
+   specification is consistent in the implementability sense.
+3. **Heuristic refinement** — on failure, the inconsistent requirements are
+   located by incremental subset growth, and the input/output partition is
+   adjusted before re-analysis (Section V-B).
+
+:class:`SpecCC` is the façade a user interacts with; it returns a
+:class:`ConsistencyReport` mirroring what the prototype tool prints.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..logic.ast import Formula
+from ..nlp.antonyms import AntonymDictionary
+from ..smt.timeopt import Sign
+from ..synthesis.localization import LocalizationResult, default_checker, localize
+from ..synthesis.mealy import MealyMachine
+from ..synthesis.realizability import (
+    Engine,
+    RealizabilityResult,
+    SynthesisLimits,
+    Verdict,
+    check_realizability,
+)
+from ..translate.partition import Partition
+from ..translate.timeabs import AbstractionMethod
+from ..translate.translator import (
+    SpecificationTranslation,
+    TranslationOptions,
+    Translator,
+)
+
+
+@dataclass
+class ConsistencyReport:
+    """Everything SpecCC learned about one specification."""
+
+    translation: SpecificationTranslation
+    realizability: RealizabilityResult
+    partition: Partition
+    verdict: Verdict
+    localization: Optional[LocalizationResult] = None
+    repaired_partition: Optional[Partition] = None
+    repair_attempts: int = 0
+    seconds: float = 0.0
+
+    @property
+    def consistent(self) -> bool:
+        return self.verdict is Verdict.REALIZABLE
+
+    @property
+    def controllers(self) -> List[MealyMachine]:
+        return self.realizability.controllers
+
+    def inconsistent_requirements(self) -> List[str]:
+        """Identifiers of requirements implicated in the inconsistency."""
+        if self.localization is None:
+            return []
+        return [
+            self.translation.requirements[index].identifier
+            for index in self.localization.core
+        ]
+
+    def summary(self) -> str:
+        lines = [
+            f"verdict: {self.verdict.value}",
+            f"formulas: {len(self.translation.requirements)}",
+            f"inputs({len(self.partition.inputs)}): {', '.join(sorted(self.partition.inputs))}",
+            f"outputs({len(self.partition.outputs)}): {', '.join(sorted(self.partition.outputs))}",
+            f"time: {self.seconds:.2f}s",
+        ]
+        if self.localization is not None:
+            culprits = ", ".join(self.inconsistent_requirements())
+            lines.append(f"inconsistent requirements: {culprits}")
+        if self.repaired_partition is not None:
+            lines.append(
+                f"partition repaired after {self.repair_attempts} adjustment(s)"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SpecCCConfig:
+    """All knobs of the pipeline in one place."""
+
+    translation: TranslationOptions = TranslationOptions()
+    abstraction: AbstractionMethod = AbstractionMethod.OPTIMAL
+    error_bound: int = 5
+    engine: Engine = Engine.SAFETY_GAME
+    limits: SynthesisLimits = SynthesisLimits()
+    modular: bool = True
+    localize_on_failure: bool = True
+    #: Try moving suspect inputs to outputs when synthesis fails
+    #: (Section V-B, second bullet).  0 disables the repair loop.
+    max_partition_repairs: int = 3
+
+
+class SpecCC:
+    """The Specification Consistency Checking tool."""
+
+    def __init__(
+        self,
+        config: SpecCCConfig = SpecCCConfig(),
+        dictionary: Optional[AntonymDictionary] = None,
+        signs: Optional[Sequence[Sign]] = None,
+    ) -> None:
+        self.config = config
+        self.translator = Translator(
+            options=config.translation,
+            dictionary=dictionary,
+            abstraction=config.abstraction,
+            error_bound=config.error_bound,
+            signs=signs,
+        )
+
+    # ------------------------------------------------------------- pipeline
+    def check(
+        self, requirements: Sequence[Tuple[str, str]]
+    ) -> ConsistencyReport:
+        """Run the full loop on ``(identifier, sentence)`` requirements."""
+        start = time.perf_counter()
+        translation = self.translator.translate(requirements)
+        report = self.check_translated(translation)
+        report.seconds = time.perf_counter() - start
+        return report
+
+    def check_document(self, document: str) -> ConsistencyReport:
+        start = time.perf_counter()
+        translation = self.translator.translate_document(document)
+        report = self.check_translated(translation)
+        report.seconds = time.perf_counter() - start
+        return report
+
+    def check_translated(
+        self, translation: SpecificationTranslation
+    ) -> ConsistencyReport:
+        """Stages 2-3 on an already-translated specification."""
+        formulas = list(translation.formulas)
+        partition = translation.partition
+        result = self._realizability(formulas, partition)
+        repairs = 0
+        repaired: Optional[Partition] = None
+
+        # Section V-B: adjust the heuristic partition before giving up.
+        while (
+            result.verdict is not Verdict.REALIZABLE
+            and repairs < self.config.max_partition_repairs
+        ):
+            candidate = self._repair_partition(formulas, partition, result)
+            if candidate is None:
+                break
+            repairs += 1
+            partition = candidate
+            result = self._realizability(formulas, partition)
+            if result.verdict is Verdict.REALIZABLE:
+                repaired = partition
+
+        localization = None
+        if (
+            result.verdict is not Verdict.REALIZABLE
+            and self.config.localize_on_failure
+        ):
+            checker = default_checker(
+                sorted(partition.inputs),
+                sorted(partition.outputs),
+                engine=self.config.engine,
+                limits=self.config.limits,
+            )
+            localization = localize(formulas, checker)
+
+        return ConsistencyReport(
+            translation=translation,
+            realizability=result,
+            partition=partition,
+            verdict=result.verdict,
+            localization=localization,
+            repaired_partition=repaired,
+            repair_attempts=repairs,
+        )
+
+    # ------------------------------------------------------------- internals
+    def _realizability(
+        self, formulas: List[Formula], partition: Partition
+    ) -> RealizabilityResult:
+        return check_realizability(
+            formulas,
+            sorted(partition.inputs),
+            sorted(partition.outputs),
+            engine=self.config.engine,
+            limits=self.config.limits,
+            modular=self.config.modular,
+        )
+
+    def _repair_partition(
+        self,
+        formulas: List[Formula],
+        partition: Partition,
+        result: RealizabilityResult,
+    ) -> Optional[Partition]:
+        """Move one suspect input to the outputs.
+
+        The paper: "The propositions belonging to the intermediated
+        variables in the located formulas are targets to be adjusted."  A
+        variable that is an input globally but appears on the response side
+        of a failing component's requirement is such an intermediate.
+        """
+        from ..translate.partition import classify_requirement
+
+        failing = result.failing_indices()
+        candidates: List[str] = []
+        for index in failing:
+            classified = classify_requirement(formulas[index])
+            for name in sorted(classified.outputs):
+                if name in partition.inputs and name not in candidates:
+                    candidates.append(name)
+        if not candidates:
+            # Fall back: any input of a failing component.
+            for part in result.components:
+                if part.verdict is Verdict.REALIZABLE:
+                    continue
+                for name in sorted(part.component.variables):
+                    if name in partition.inputs and name not in candidates:
+                        candidates.append(name)
+        if not candidates:
+            return None
+        return partition.move_to_output(candidates[0])

@@ -1,0 +1,220 @@
+"""Abstract syntax for linear temporal logic (LTL).
+
+The grammar follows Section IV-A of the paper:
+
+    phi ::= p | !phi | phi || phi | X phi | F phi | G phi | phi U phi
+
+with the derived operators ``&&``, ``->``, ``<->``, ``R`` (Release) and
+``W`` (Weak until).  Formula objects are immutable and hashable so they can
+be shared freely, used as dictionary keys inside the tableau construction,
+and compared structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import FrozenSet, Iterable, Iterator, Tuple
+
+
+class Formula:
+    """Base class of all LTL formula nodes."""
+
+    __slots__ = ()
+
+    # -- convenient operator overloading -----------------------------------
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        """``a >> b`` builds the implication ``a -> b``."""
+        return Implies(self, other)
+
+    def children(self) -> Tuple["Formula", ...]:
+        return ()
+
+    def __str__(self) -> str:  # pragma: no cover - delegated
+        from .printer import to_str
+
+        return to_str(self)
+
+    def __repr__(self) -> str:
+        from .printer import to_str
+
+        return f"Formula({to_str(self)!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class Bool(Formula):
+    """Propositional constant ``true`` or ``false``."""
+
+    value: bool
+
+    __slots__ = ("value",)
+
+
+TRUE = Bool(True)
+FALSE = Bool(False)
+
+
+@dataclass(frozen=True, repr=False)
+class Atom(Formula):
+    """An atomic proposition such as ``inflate_cuff``."""
+
+    name: str
+
+    __slots__ = ("name",)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("atomic proposition must have a non-empty name")
+
+
+@dataclass(frozen=True, repr=False)
+class _Unary(Formula):
+    operand: Formula
+
+    __slots__ = ("operand",)
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True, repr=False)
+class _Binary(Formula):
+    left: Formula
+    right: Formula
+
+    __slots__ = ("left", "right")
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.left, self.right)
+
+
+class Not(_Unary):
+    """Negation ``!phi``."""
+
+
+class Next(_Unary):
+    """Next-time operator ``X phi``."""
+
+
+class Finally(_Unary):
+    """Eventually operator ``F phi`` (the paper's lozenge)."""
+
+
+class Globally(_Unary):
+    """Always operator ``G phi`` (the paper's box)."""
+
+
+class And(_Binary):
+    """Conjunction ``phi && psi``."""
+
+
+class Or(_Binary):
+    """Disjunction ``phi || psi``."""
+
+
+class Implies(_Binary):
+    """Implication ``phi -> psi``."""
+
+
+class Iff(_Binary):
+    """Equivalence ``phi <-> psi``."""
+
+
+class Until(_Binary):
+    """Strong until ``phi U psi``."""
+
+
+class Release(_Binary):
+    """Release ``phi R psi``, the dual of until."""
+
+
+class WeakUntil(_Binary):
+    """Weak until ``phi W psi`` = ``(phi U psi) || G phi``."""
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+
+
+def conj(formulas: Iterable[Formula]) -> Formula:
+    """Right-associated conjunction of *formulas*; ``true`` when empty."""
+    items = list(formulas)
+    if not items:
+        return TRUE
+    result = items[-1]
+    for item in reversed(items[:-1]):
+        result = And(item, result)
+    return result
+
+
+def disj(formulas: Iterable[Formula]) -> Formula:
+    """Right-associated disjunction of *formulas*; ``false`` when empty."""
+    items = list(formulas)
+    if not items:
+        return FALSE
+    result = items[-1]
+    for item in reversed(items[:-1]):
+        result = Or(item, result)
+    return result
+
+
+def next_chain(formula: Formula, steps: int) -> Formula:
+    """Prefix *formula* with *steps* ``X`` operators (the paper's discrete
+    time encoding, Section IV-E)."""
+    if steps < 0:
+        raise ValueError(f"steps must be non-negative, got {steps}")
+    for _ in range(steps):
+        formula = Next(formula)
+    return formula
+
+
+def atoms(formula: Formula) -> FrozenSet[str]:
+    """The set of atomic proposition names occurring in *formula*."""
+    names = set()
+    for node in walk(formula):
+        if isinstance(node, Atom):
+            names.add(node.name)
+    return frozenset(names)
+
+
+def walk(formula: Formula) -> Iterator[Formula]:
+    """Yield every subformula of *formula* (pre-order, duplicates allowed)."""
+    stack = [formula]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children()))
+
+
+def subformulas(formula: Formula) -> FrozenSet[Formula]:
+    """The set of distinct subformulas of *formula*."""
+    return frozenset(walk(formula))
+
+
+def size(formula: Formula) -> int:
+    """Number of AST nodes in *formula*."""
+    return sum(1 for _ in walk(formula))
+
+
+@lru_cache(maxsize=4096)
+def next_depth(formula: Formula) -> int:
+    """Length of the longest chain of nested ``X`` operators.
+
+    This is the quantity reduced by the time-abstraction technique of
+    Section IV-E: a requirement "in t seconds" contributes a chain of t
+    ``X`` operators.
+    """
+    if isinstance(formula, Next):
+        return 1 + next_depth(formula.operand)
+    if not formula.children():
+        return 0
+    return max(next_depth(child) for child in formula.children())

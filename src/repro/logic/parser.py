@@ -1,0 +1,188 @@
+"""Parser for the ASCII LTL syntax.
+
+Grammar (loosest binding first)::
+
+    iff     ::= implies ("<->" iff)?        # all binary connectives
+    implies ::= or ("->" implies)?          # associate to the right
+    or      ::= and ("||" or)?
+    and     ::= until ("&&" and)?
+    until   ::= unary (("U" | "R" | "W") unary)?
+    unary   ::= ("!" | "X" | "F" | "G" | "<>" | "[]") unary | primary
+    primary ::= "true" | "false" | identifier | "(" iff ")"
+
+Identifiers match ``[A-Za-z_][A-Za-z0-9_'-]*``; the paper's appendix uses
+``-`` inside proposition names (``auto-control``), which we therefore allow.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from .ast import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Finally,
+    Formula,
+    Globally,
+    Iff,
+    Implies,
+    Next,
+    Not,
+    Or,
+    Release,
+    Until,
+    WeakUntil,
+)
+
+
+class LTLSyntaxError(ValueError):
+    """Raised when a formula string cannot be parsed."""
+
+    def __init__(self, message: str, position: int, text: str) -> None:
+        super().__init__(f"{message} at position {position}: {text!r}")
+        self.position = position
+        self.text = text
+
+
+class _Token(NamedTuple):
+    kind: str
+    value: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<op><->|->|&&|\|\||<>|\[\]|[!()])
+  | (?P<ident>[A-Za-z_](?:[A-Za-z0-9_']|-(?!>))*)
+    """,
+    re.VERBOSE,
+)
+
+# Keywords that act as operators when they appear as bare identifiers.
+_UNARY_KEYWORDS = {
+    "X": Next,
+    "F": Finally,
+    "G": Globally,
+    "<>": Finally,
+    "[]": Globally,
+    "!": Not,
+    "NOT": Not,
+}
+_BINARY_KEYWORDS = {"U": Until, "R": Release, "W": WeakUntil, "V": Release}
+
+
+def tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise LTLSyntaxError("unexpected character", position, text)
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        kind = "op" if match.lastgroup == "op" else "ident"
+        tokens.append(_Token(kind, match.group(), match.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    def peek(self) -> Optional[_Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def advance(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise LTLSyntaxError("unexpected end of input", len(self.text), self.text)
+        self.index += 1
+        return token
+
+    def expect(self, value: str) -> None:
+        token = self.advance()
+        if token.value != value:
+            raise LTLSyntaxError(f"expected {value!r}", token.position, self.text)
+
+    # grammar rules, loosest first -----------------------------------------
+    def parse(self) -> Formula:
+        formula = self.iff()
+        token = self.peek()
+        if token is not None:
+            raise LTLSyntaxError("trailing input", token.position, self.text)
+        return formula
+
+    def iff(self) -> Formula:
+        left = self.implies()
+        if self._match("<->"):
+            return Iff(left, self.iff())
+        return left
+
+    def implies(self) -> Formula:
+        left = self.or_()
+        if self._match("->"):
+            return Implies(left, self.implies())
+        return left
+
+    def or_(self) -> Formula:
+        left = self.and_()
+        if self._match("||"):
+            return Or(left, self.or_())
+        return left
+
+    def and_(self) -> Formula:
+        left = self.until()
+        if self._match("&&"):
+            return And(left, self.and_())
+        return left
+
+    def until(self) -> Formula:
+        left = self.unary()
+        token = self.peek()
+        if token is not None and token.value in _BINARY_KEYWORDS:
+            self.advance()
+            return _BINARY_KEYWORDS[token.value](left, self.unary())
+        return left
+
+    def unary(self) -> Formula:
+        token = self.peek()
+        if token is not None and token.value in _UNARY_KEYWORDS:
+            self.advance()
+            return _UNARY_KEYWORDS[token.value](self.unary())
+        return self.primary()
+
+    def primary(self) -> Formula:
+        token = self.advance()
+        if token.value == "(":
+            inner = self.iff()
+            self.expect(")")
+            return inner
+        if token.kind == "ident":
+            lowered = token.value.lower()
+            if lowered == "true":
+                return TRUE
+            if lowered == "false":
+                return FALSE
+            return Atom(token.value)
+        raise LTLSyntaxError("expected a formula", token.position, self.text)
+
+    def _match(self, value: str) -> bool:
+        token = self.peek()
+        if token is not None and token.value == value:
+            self.index += 1
+            return True
+        return False
+
+
+def parse(text: str) -> Formula:
+    """Parse an LTL formula from its ASCII representation."""
+    return _Parser(text).parse()

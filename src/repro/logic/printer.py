@@ -1,0 +1,90 @@
+"""Pretty printing of LTL formulas.
+
+Two styles are supported: the ASCII style used throughout the code base and
+in the parser (``G (a -> F b)``), and the paper style that mirrors the
+appendix listing (``[](a -> <>(b))`` with ``&&``/``||``).
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    And,
+    Atom,
+    Bool,
+    Finally,
+    Formula,
+    Globally,
+    Iff,
+    Implies,
+    Next,
+    Not,
+    Or,
+    Release,
+    Until,
+    WeakUntil,
+)
+
+# Binding strength, loosest first.  Unary operators bind tightest.
+_PRECEDENCE = {
+    Iff: 1,
+    Implies: 2,
+    Or: 3,
+    And: 4,
+    Until: 5,
+    Release: 5,
+    WeakUntil: 5,
+    Not: 6,
+    Next: 6,
+    Finally: 6,
+    Globally: 6,
+}
+
+_BINARY_SYMBOLS = {
+    And: "&&",
+    Or: "||",
+    Implies: "->",
+    Iff: "<->",
+    Until: "U",
+    Release: "R",
+    WeakUntil: "W",
+}
+
+_UNARY_SYMBOLS = {Not: "!", Next: "X", Finally: "F", Globally: "G"}
+
+_PAPER_UNARY = {Not: "!", Next: "X", Finally: "<>", Globally: "[]"}
+
+# Until/Release/WeakUntil are non-associative in our grammar; And/Or and the
+# implication chain associate to the right.
+_RIGHT_ASSOCIATIVE = (And, Or, Implies, Iff)
+
+
+def to_str(formula: Formula, *, paper_style: bool = False) -> str:
+    """Render *formula* as a string re-parsable by :mod:`repro.logic.parser`
+    (ASCII style) or matching the appendix notation (*paper_style*)."""
+    unary = _PAPER_UNARY if paper_style else _UNARY_SYMBOLS
+    return _render(formula, 0, unary)
+
+
+def _render(formula: Formula, parent_level: int, unary: dict) -> str:
+    if isinstance(formula, Bool):
+        return "true" if formula.value else "false"
+    if isinstance(formula, Atom):
+        return formula.name
+    cls = type(formula)
+    level = _PRECEDENCE[cls]
+    if cls in unary:
+        symbol = unary[cls]
+        inner = _render(formula.operand, level, unary)
+        sep = "" if symbol == "!" else " "
+        text = f"{symbol}{sep}{inner}"
+    else:
+        symbol = _BINARY_SYMBOLS[cls]
+        # Right operand may reuse the same level only for right-associative
+        # operators; everything else gets parenthesised on ties.
+        right_level = level if cls in _RIGHT_ASSOCIATIVE else level + 1
+        left = _render(formula.left, level + 1, unary)
+        right = _render(formula.right, right_level, unary)
+        text = f"{left} {symbol} {right}"
+    if level < parent_level:
+        return f"({text})"
+    return text

@@ -1,0 +1,163 @@
+"""Lightweight formula simplification.
+
+The translator (Section IV) and the time-abstraction rewriter produce
+formulas with obvious redundancies (``true && p``, ``!!p``, ``X true`` …).
+:func:`simplify` removes them with local, semantics-preserving rules; it is
+deliberately not a full minimiser — the synthesis engines do the heavy
+lifting — but smaller formulas make the tableau construction cheaper and the
+reports readable.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .ast import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Bool,
+    Finally,
+    Formula,
+    Globally,
+    Iff,
+    Implies,
+    Next,
+    Not,
+    Or,
+    Release,
+    Until,
+    WeakUntil,
+)
+
+
+@lru_cache(maxsize=16384)
+def simplify(formula: Formula) -> Formula:
+    """Apply local simplification rules bottom-up until a fixpoint."""
+    previous = None
+    current = formula
+    while current != previous:
+        previous = current
+        current = _simplify_once(current)
+    return current
+
+
+def _simplify_once(formula: Formula) -> Formula:
+    if isinstance(formula, (Bool, Atom)):
+        return formula
+
+    children = [_simplify_once(child) for child in formula.children()]
+
+    if isinstance(formula, Not):
+        (operand,) = children
+        if isinstance(operand, Bool):
+            return FALSE if operand.value else TRUE
+        if isinstance(operand, Not):
+            return operand.operand
+        return Not(operand)
+
+    if isinstance(formula, Next):
+        (operand,) = children
+        if isinstance(operand, Bool):
+            return operand
+        return Next(operand)
+
+    if isinstance(formula, Finally):
+        (operand,) = children
+        if isinstance(operand, (Bool, Finally)):
+            return operand if isinstance(operand, Bool) else Finally(operand.operand)
+        return Finally(operand)
+
+    if isinstance(formula, Globally):
+        (operand,) = children
+        if isinstance(operand, Bool):
+            return operand
+        if isinstance(operand, Globally):
+            return Globally(operand.operand)
+        return Globally(operand)
+
+    left, right = children
+
+    if isinstance(formula, And):
+        if left == FALSE or right == FALSE:
+            return FALSE
+        if left == TRUE:
+            return right
+        if right == TRUE:
+            return left
+        if left == right:
+            return left
+        return And(left, right)
+
+    if isinstance(formula, Or):
+        if left == TRUE or right == TRUE:
+            return TRUE
+        if left == FALSE:
+            return right
+        if right == FALSE:
+            return left
+        if left == right:
+            return left
+        return Or(left, right)
+
+    if isinstance(formula, Implies):
+        if left == FALSE or right == TRUE:
+            return TRUE
+        if left == TRUE:
+            return right
+        if right == FALSE:
+            return _simplify_once(Not(left))
+        if left == right:
+            return TRUE
+        return Implies(left, right)
+
+    if isinstance(formula, Iff):
+        if left == TRUE:
+            return right
+        if right == TRUE:
+            return left
+        if left == FALSE:
+            return _simplify_once(Not(right))
+        if right == FALSE:
+            return _simplify_once(Not(left))
+        if left == right:
+            return TRUE
+        return Iff(left, right)
+
+    if isinstance(formula, Until):
+        if right == TRUE or right == FALSE:
+            return right
+        if left == FALSE:
+            return right
+        if left == TRUE:
+            return Finally(right)
+        if left == right:
+            return left
+        return Until(left, right)
+
+    if isinstance(formula, Release):
+        if right == TRUE or right == FALSE:
+            return right
+        if left == TRUE:
+            return right
+        if left == FALSE:
+            return Globally(right)
+        if left == right:
+            return left
+        return Release(left, right)
+
+    if isinstance(formula, WeakUntil):
+        if right == TRUE:
+            return TRUE
+        if left == FALSE:
+            return right
+        if left == TRUE:
+            return TRUE
+        if right == FALSE:
+            return Globally(left)
+        if left == right:
+            return left
+        return WeakUntil(left, right)
+
+    raise TypeError(f"unknown formula node: {formula!r}")

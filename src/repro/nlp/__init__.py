@@ -1,0 +1,49 @@
+"""NLP substrate: tokenizer, structured-English grammar, dependencies,
+antonym dictionary — the offline stand-in for the Stanford parser."""
+
+from .antonyms import DEFAULT_PAIRS, AntonymDictionary
+from .dependencies import (
+    Dependency,
+    clause_dependencies,
+    extract_dependencies,
+    subject_dependents,
+)
+from .grammar import (
+    Clause,
+    ClauseGroup,
+    Sentence,
+    StructuredEnglishError,
+    SubClause,
+    TimeConstraint,
+    normalise_name,
+    parse_clause,
+    parse_sentence,
+)
+from .tokenizer import Token, split_sentences, tokenize, tokenize_document
+from .tree import TreeNode, render, render_sentence, syntax_tree
+
+__all__ = [
+    "AntonymDictionary",
+    "Clause",
+    "ClauseGroup",
+    "DEFAULT_PAIRS",
+    "Dependency",
+    "Sentence",
+    "StructuredEnglishError",
+    "SubClause",
+    "TimeConstraint",
+    "Token",
+    "TreeNode",
+    "clause_dependencies",
+    "extract_dependencies",
+    "normalise_name",
+    "parse_clause",
+    "parse_sentence",
+    "render",
+    "render_sentence",
+    "split_sentences",
+    "subject_dependents",
+    "syntax_tree",
+    "tokenize",
+    "tokenize_document",
+]

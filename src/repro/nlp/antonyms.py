@@ -1,0 +1,116 @@
+"""Antonym dictionary and the "online lookup" oracle of Algorithm 1.
+
+The paper's semantic reasoning groups adjectives/adverbs ("antonym
+candidates") into pairs of semantically contrasting words by consulting a
+user-specified antonym dictionary, falling back to an online lookup
+(``online(w)`` in Algorithm 1).  Offline, the oracle is a curated
+dictionary plus English negation morphology (``un-``, ``in-``, ``dis-``,
+``non-``, ``-less``), which covers the vocabulary of the case studies and,
+unlike a web lookup, is deterministic.
+
+The dictionary also records which member of a pair carries the *positive*
+meaning.  The paper chooses the positive form "randomly" when no polarity
+is known; we default to the curated polarity and fall back to a stable
+deterministic choice so repeated runs agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+
+#: Curated antonym pairs, (positive form, negative form).
+DEFAULT_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("available", "unavailable"),
+    ("available", "lost"),
+    ("valid", "invalid"),
+    ("enabled", "disabled"),
+    ("on", "off"),
+    ("high", "low"),
+    ("ok", "low"),  # "Air Ok signal remains low" (Req-08)
+    ("open", "closed"),
+    ("online", "offline"),
+    ("active", "inactive"),
+    ("locked", "unlocked"),
+    ("complete", "incomplete"),
+    ("full", "empty"),
+    ("busy", "idle"),
+    ("normal", "abnormal"),
+    ("ready", "unready"),
+    ("connected", "disconnected"),
+    ("present", "absent"),
+    ("up", "down"),
+)
+
+_NEGATION_PREFIXES: Tuple[str, ...] = ("un", "in", "dis", "non", "im", "ir")
+
+
+@dataclass
+class AntonymDictionary:
+    """Bidirectional antonym map with polarity information."""
+
+    pairs: Dict[str, Set[str]] = field(default_factory=dict)
+    positive_forms: Set[str] = field(default_factory=set)
+
+    @staticmethod
+    def default() -> "AntonymDictionary":
+        dictionary = AntonymDictionary()
+        for positive, negative in DEFAULT_PAIRS:
+            dictionary.add_pair(positive, negative)
+        return dictionary
+
+    @staticmethod
+    def from_pairs(pairs: Iterable[Tuple[str, str]]) -> "AntonymDictionary":
+        dictionary = AntonymDictionary()
+        for positive, negative in pairs:
+            dictionary.add_pair(positive, negative)
+        return dictionary
+
+    def add_pair(self, positive: str, negative: str) -> None:
+        positive, negative = positive.lower(), negative.lower()
+        self.pairs.setdefault(positive, set()).add(negative)
+        self.pairs.setdefault(negative, set()).add(positive)
+        self.positive_forms.add(positive)
+        self.positive_forms.discard(negative)
+
+    def lookup(self, word: str) -> FrozenSet[str]:
+        """The ``online(w)`` oracle: known antonyms of *word*.
+
+        Combines the curated table with negation morphology, so unknown
+        vocabulary such as "reachable"/"unreachable" still pairs up.
+        """
+        word = word.lower()
+        antonyms: Set[str] = set(self.pairs.get(word, ()))
+        for prefix in _NEGATION_PREFIXES:
+            if word.startswith(prefix):
+                antonyms.add(word[len(prefix):])
+            else:
+                antonyms.add(prefix + word)
+        if word.endswith("less"):
+            antonyms.add(word[:-4] + "ful")
+        if word.endswith("ful"):
+            antonyms.add(word[:-3] + "less")
+        return frozenset(antonyms)
+
+    def are_antonyms(self, left: str, right: str) -> bool:
+        return right.lower() in self.lookup(left)
+
+    def is_positive(self, word: str, antonym: str) -> bool:
+        """Decide which member of a pair is the positive form.
+
+        Priority: curated polarity, then morphology (the unprefixed word is
+        positive), then a stable lexicographic tie-break (the paper:
+        "the selection for the positive form is randomly" — we make it
+        deterministic instead).
+        """
+        word, antonym = word.lower(), antonym.lower()
+        if word in self.positive_forms and antonym not in self.positive_forms:
+            return True
+        if antonym in self.positive_forms and word not in self.positive_forms:
+            return False
+        for prefix in _NEGATION_PREFIXES:
+            if word.startswith(prefix) and word[len(prefix):] == antonym:
+                return False
+            if antonym.startswith(prefix) and antonym[len(prefix):] == word:
+                return True
+        return word < antonym

@@ -1,0 +1,19 @@
+"""SAT substrate: CNF, Tseitin encoding, CDCL and a brute-force reference."""
+
+from .brute import solve_brute
+from .cdcl import CDCLSolver, SatResult, solve
+from .cnf import CNF, Clause, Lit
+from .tseitin import NotPropositional, assert_formula, encode
+
+__all__ = [
+    "CDCLSolver",
+    "CNF",
+    "Clause",
+    "Lit",
+    "NotPropositional",
+    "SatResult",
+    "assert_formula",
+    "encode",
+    "solve",
+    "solve_brute",
+]

@@ -1,0 +1,35 @@
+"""Brute-force reference SAT solver.
+
+Exhaustively enumerates assignments; only usable for tiny instances.  It
+exists so the CDCL solver can be cross-checked in the test suite (including
+hypothesis-generated random CNFs) and so ablation benchmarks can show the
+benefit of CDCL.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Optional
+
+from .cnf import CNF
+
+
+def solve_brute(cnf: CNF, max_vars: int = 24) -> Optional[Dict[int, bool]]:
+    """Return a model as ``{var: bool}`` or ``None`` when unsatisfiable.
+
+    Raises :class:`ValueError` when the instance has more than *max_vars*
+    variables, to protect against accidental exponential blow-up.
+    """
+    if cnf.num_vars > max_vars:
+        raise ValueError(
+            f"instance has {cnf.num_vars} variables; brute force capped at {max_vars}"
+        )
+    variables = list(range(1, cnf.num_vars + 1))
+    for bits in product((False, True), repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if all(
+            any(assignment[abs(lit)] == (lit > 0) for lit in clause)
+            for clause in cnf.clauses
+        ):
+            return assignment
+    return None

@@ -1,0 +1,409 @@
+"""Conflict-driven clause learning SAT solver.
+
+A compact but complete CDCL implementation standing in for the paper's use
+of Yices 2 (Section IV-E solves the time-abstraction optimisation "via
+bit-blasting"):
+
+* two-watched-literal propagation,
+* first-UIP conflict analysis with clause minimisation,
+* exponential VSIDS activity with phase saving,
+* Luby-sequence restarts,
+* incremental solving under assumptions with failed-assumption cores.
+
+The solver is deterministic: identical inputs yield identical models, which
+keeps the benchmark tables and tests reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .cnf import CNF, Lit
+
+
+@dataclass
+class SatResult:
+    """Outcome of a :meth:`CDCLSolver.solve` call."""
+
+    satisfiable: bool
+    model: Optional[Dict[int, bool]] = None
+    failed_assumptions: Optional[List[Lit]] = None
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+    def value(self, lit: Lit) -> bool:
+        if self.model is None:
+            raise ValueError("no model available (unsatisfiable result?)")
+        assignment = self.model[abs(lit)]
+        return assignment if lit > 0 else not assignment
+
+
+class CDCLSolver:
+    """CDCL solver over a :class:`~repro.sat.cnf.CNF` instance."""
+
+    def __init__(self, cnf: CNF) -> None:
+        self.num_vars = cnf.num_vars
+        # clause database: each clause is a list of literals; index 0/1 are
+        # the watched literals.
+        self.clauses: List[List[Lit]] = []
+        self.watchers: Dict[Lit, List[int]] = {}
+        self.assign: List[int] = [0] * (self.num_vars + 1)  # 0 unset, ±1
+        self.level: List[int] = [0] * (self.num_vars + 1)
+        self.reason: List[Optional[int]] = [None] * (self.num_vars + 1)
+        self.trail: List[Lit] = []
+        self.trail_lim: List[int] = []
+        self.queue_head = 0
+        self.activity: List[float] = [0.0] * (self.num_vars + 1)
+        # Max-heap (negated activity) with lazy deletion for branch picking.
+        self.heap: List[tuple] = []
+        self.var_inc = 1.0
+        self.var_decay = 1.0 / 0.95
+        self.saved_phase: List[bool] = [False] * (self.num_vars + 1)
+        self.ok = True
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        for clause in cnf.clauses:
+            self.add_clause(clause)
+        self.heap = [(0.0, var) for var in range(1, self.num_vars + 1)]
+        heapq.heapify(self.heap)
+
+    # ------------------------------------------------------------------ API
+    def add_clause(self, lits: Iterable[Lit]) -> None:
+        """Add a clause at decision level 0."""
+        if not self.ok:
+            return
+        seen: Set[Lit] = set()
+        clause: List[Lit] = []
+        for lit in lits:
+            if abs(lit) > self.num_vars:
+                self._grow(abs(lit))
+            if -lit in seen:
+                return  # tautology
+            if lit in seen:
+                continue
+            value = self._value(lit)
+            if value == 1 and self.level[abs(lit)] == 0:
+                return  # already satisfied at root
+            if value == -1 and self.level[abs(lit)] == 0:
+                continue  # falsified at root: drop the literal
+            seen.add(lit)
+            clause.append(lit)
+        if not clause:
+            self.ok = False
+            return
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self.ok = False
+            elif self._propagate() is not None:
+                self.ok = False
+            return
+        self._attach(clause)
+
+    def solve(self, assumptions: Sequence[Lit] = ()) -> SatResult:
+        """Search for a model extending *assumptions*."""
+        if not self.ok:
+            return SatResult(False, failed_assumptions=[], conflicts=self.conflicts)
+        self._backtrack(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self.ok = False
+            return SatResult(False, failed_assumptions=[], conflicts=self.conflicts)
+
+        assumption_list = list(assumptions)
+        restart_threshold = 100
+        luby_index = 1
+        conflicts_since_restart = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level() == 0:
+                    self.ok = False
+                    return self._unsat_result([])
+                learnt, backjump = self._analyze(conflict)
+                self._backtrack(backjump)
+                if len(learnt) == 1:
+                    self._enqueue(learnt[0], None)
+                else:
+                    index = self._attach(learnt)
+                    self._enqueue(learnt[0], index)
+                self.var_inc *= self.var_decay
+                continue
+
+            if conflicts_since_restart >= restart_threshold * _luby(luby_index):
+                luby_index += 1
+                conflicts_since_restart = 0
+                self._backtrack(0)
+                continue
+
+            # Place pending assumptions as decisions.  Already-satisfied
+            # assumptions are skipped without opening a decision level —
+            # empty levels would break the first-UIP invariant.
+            pending: Optional[Lit] = None
+            for lit in assumption_list:
+                value = self._value(lit)
+                if value == -1:
+                    core = self._assumption_core(assumption_list, failed=lit)
+                    self._backtrack(0)
+                    return self._unsat_result(core)
+                if value == 0:
+                    pending = lit
+                    break
+            if pending is not None:
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(pending, None)
+                continue
+
+            lit = self._pick_branch()
+            if lit is None:
+                model = {
+                    var: self.assign[var] == 1 for var in range(1, self.num_vars + 1)
+                }
+                self._backtrack(0)
+                return SatResult(
+                    True,
+                    model=model,
+                    conflicts=self.conflicts,
+                    decisions=self.decisions,
+                    propagations=self.propagations,
+                )
+            self.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(lit, None)
+
+    # ------------------------------------------------------------ internals
+    def _grow(self, var: int) -> None:
+        extra = var - self.num_vars
+        self.assign.extend([0] * extra)
+        self.level.extend([0] * extra)
+        self.reason.extend([None] * extra)
+        self.activity.extend([0.0] * extra)
+        self.saved_phase.extend([False] * extra)
+        for fresh in range(self.num_vars + 1, var + 1):
+            heapq.heappush(self.heap, (0.0, fresh))
+        self.num_vars = var
+
+    def _value(self, lit: Lit) -> int:
+        value = self.assign[abs(lit)]
+        return value if lit > 0 else -value
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _attach(self, clause: List[Lit]) -> int:
+        index = len(self.clauses)
+        self.clauses.append(clause)
+        self.watchers.setdefault(clause[0], []).append(index)
+        self.watchers.setdefault(clause[1], []).append(index)
+        return index
+
+    def _enqueue(self, lit: Lit, reason: Optional[int]) -> bool:
+        value = self._value(lit)
+        if value == -1:
+            return False
+        if value == 1:
+            return True
+        var = abs(lit)
+        self.assign[var] = 1 if lit > 0 else -1
+        self.level[var] = self._decision_level()
+        self.reason[var] = reason
+        self.saved_phase[var] = lit > 0
+        self.trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns a conflicting clause index or None."""
+        while self.queue_head < len(self.trail):
+            lit = self.trail[self.queue_head]
+            self.queue_head += 1
+            self.propagations += 1
+            falsified = -lit
+            watch_list = self.watchers.get(falsified)
+            if not watch_list:
+                continue
+            new_list: List[int] = []
+            conflict: Optional[int] = None
+            i = 0
+            while i < len(watch_list):
+                index = watch_list[i]
+                i += 1
+                clause = self.clauses[index]
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                # clause[1] is the falsified watcher now.
+                first = clause[0]
+                if self._value(first) == 1:
+                    new_list.append(index)
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != -1:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watchers.setdefault(clause[1], []).append(index)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                new_list.append(index)
+                if not self._enqueue(first, index):
+                    conflict = index
+                    new_list.extend(watch_list[i:])
+                    break
+            self.watchers[falsified] = new_list
+            if conflict is not None:
+                return conflict
+        return None
+
+    def _analyze(self, conflict_index: int):
+        """First-UIP conflict analysis; returns (learnt clause, backjump)."""
+        learnt: List[Lit] = [0]  # reserve slot for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = 0
+        index = len(self.trail) - 1
+        clause = self.clauses[conflict_index]
+        current_level = self._decision_level()
+
+        while True:
+            for reason_lit in clause:
+                if reason_lit == -lit:
+                    # Skip the literal whose reason clause we are expanding.
+                    continue
+                var = abs(reason_lit)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(reason_lit)
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            lit = -self.trail[index]
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                break
+            reason_index = self.reason[var]
+            assert reason_index is not None, "UIP literal must have a reason"
+            clause = self.clauses[reason_index]
+
+        learnt[0] = lit
+        learnt = self._minimise(learnt, seen)
+        if len(learnt) == 1:
+            return learnt, 0
+        # Move the second-highest level literal to index 1 for watching.
+        best = max(range(1, len(learnt)), key=lambda k: self.level[abs(learnt[k])])
+        learnt[1], learnt[best] = learnt[best], learnt[1]
+        return learnt, self.level[abs(learnt[1])]
+
+    def _minimise(self, learnt: List[Lit], seen: List[bool]) -> List[Lit]:
+        """Drop literals implied by the rest of the learnt clause."""
+        for lit in learnt[1:]:
+            seen[abs(lit)] = True
+        result = [learnt[0]]
+        for lit in learnt[1:]:
+            reason_index = self.reason[abs(lit)]
+            if reason_index is None:
+                result.append(lit)
+                continue
+            redundant = all(
+                seen[abs(other)] or self.level[abs(other)] == 0
+                for other in self.clauses[reason_index]
+                if abs(other) != abs(lit)
+            )
+            if not redundant:
+                result.append(lit)
+        for lit in learnt[1:]:
+            seen[abs(lit)] = False
+        return result
+
+    def _assumption_core(
+        self, assumptions: Sequence[Lit], failed: Optional[Lit] = None
+    ) -> List[Lit]:
+        """A (not necessarily minimal) subset of assumptions causing UNSAT."""
+        assumption_set = set(assumptions)
+        core: Set[Lit] = set()
+        worklist: List[int] = []
+        if failed is not None:
+            core.add(failed)
+            worklist.append(abs(failed))
+        for lit in self.trail:
+            if lit in assumption_set:
+                core.add(lit)
+        return sorted(core, key=abs)
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        heapq.heappush(self.heap, (-self.activity[var], var))
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+            self.heap = [(-self.activity[v], v) for v in range(1, self.num_vars + 1)]
+            heapq.heapify(self.heap)
+
+    def _pick_branch(self) -> Optional[Lit]:
+        while self.heap:
+            negated_activity, var = self.heap[0]
+            if self.assign[var] != 0 or -negated_activity != self.activity[var]:
+                heapq.heappop(self.heap)  # stale entry
+                continue
+            return var if self.saved_phase[var] else -var
+        # Heap exhausted: fall back to a linear scan for untouched vars.
+        for var in range(1, self.num_vars + 1):
+            if self.assign[var] == 0:
+                return var if self.saved_phase[var] else -var
+        return None
+
+    def _backtrack(self, target_level: int) -> None:
+        if self._decision_level() <= target_level:
+            return
+        boundary = self.trail_lim[target_level]
+        for lit in self.trail[boundary:]:
+            var = abs(lit)
+            self.assign[var] = 0
+            self.reason[var] = None
+            heapq.heappush(self.heap, (-self.activity[var], var))
+        del self.trail[boundary:]
+        del self.trail_lim[target_level:]
+        self.queue_head = min(self.queue_head, len(self.trail))
+
+    def _unsat_result(self, core: List[Lit]) -> SatResult:
+        return SatResult(
+            False,
+            failed_assumptions=core,
+            conflicts=self.conflicts,
+            decisions=self.decisions,
+            propagations=self.propagations,
+        )
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,… (*i* is 1-based)."""
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+def solve(cnf: CNF, assumptions: Sequence[Lit] = ()) -> SatResult:
+    """One-shot convenience wrapper around :class:`CDCLSolver`."""
+    return CDCLSolver(cnf).solve(assumptions)

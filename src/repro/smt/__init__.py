@@ -1,0 +1,22 @@
+"""SMT-lite substrate: bit-vectors, bit-blasting, time-abstraction solver."""
+
+from .bitvec import BitVec, BitVecBuilder
+from .timeopt import (
+    Sign,
+    TimeAbstractionProblem,
+    TimeAbstractionSolution,
+    gcd_reduction,
+    solve_bitblast,
+    solve_reference,
+)
+
+__all__ = [
+    "BitVec",
+    "BitVecBuilder",
+    "Sign",
+    "TimeAbstractionProblem",
+    "TimeAbstractionSolution",
+    "gcd_reduction",
+    "solve_bitblast",
+    "solve_reference",
+]

@@ -1,0 +1,52 @@
+"""Stage 2 of SpecCC: LTL realizability checking (the G4LTL substitute).
+
+Two engines — a k-co-Büchi safety-game reduction (G4LTL's algorithm) and
+SAT-based bounded synthesis (Finkbeiner-Schewe) — plus variable-partitioned
+modular decomposition, controller verification and inconsistency
+localization.
+"""
+
+from .bounded import (
+    BoundedSynthesisResult,
+    synthesize,
+    synthesize_environment,
+)
+from .localization import LocalizationResult, default_checker, localize
+from .mealy import Letter, MealyMachine, all_letters
+from .modular import Component, decompose
+from .realizability import (
+    ComponentResult,
+    Engine,
+    RealizabilityResult,
+    SynthesisLimits,
+    Verdict,
+    check_realizability,
+)
+from .safety_game import SafetyGameResult, StateSpaceLimit
+from .safety_game import solve as solve_safety_game
+from .verify import satisfies_specification, violation_witness
+
+__all__ = [
+    "BoundedSynthesisResult",
+    "Component",
+    "ComponentResult",
+    "Engine",
+    "Letter",
+    "LocalizationResult",
+    "MealyMachine",
+    "RealizabilityResult",
+    "SafetyGameResult",
+    "StateSpaceLimit",
+    "SynthesisLimits",
+    "Verdict",
+    "all_letters",
+    "check_realizability",
+    "decompose",
+    "default_checker",
+    "localize",
+    "satisfies_specification",
+    "solve_safety_game",
+    "synthesize",
+    "synthesize_environment",
+    "violation_witness",
+]

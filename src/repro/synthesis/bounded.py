@@ -1,0 +1,223 @@
+"""Bounded LTL synthesis via SAT (Finkbeiner & Schewe).
+
+The G4LTL replacement's reference engine.  To decide whether a system with
+``n`` states can realize a specification ``phi`` over inputs ``I`` and
+outputs ``O``:
+
+1. build the Büchi automaton of ``!phi`` (GPVW) and read it as a
+   *universal co-Büchi* automaton: the closed loop must not let any run
+   visit a rejecting state infinitely often;
+2. guess a Mealy machine with ``n`` states and an annotation
+   ``lambda : S x Q -> {bot, 0..k}`` bounding how often rejecting states
+   can still be visited;  the existence of a consistent annotation is
+   equivalent to correctness of the machine (for sufficiently large
+   ``k``), and is expressible in SAT;
+3. a satisfying assignment yields the controller directly.
+
+Unrealizability is semi-decided through the *dual* game: the environment,
+now the constructive player, moves first each step (a Moore machine over
+the outputs) and tries to enforce ``!phi``; bounded synthesis of that
+machine witnesses unrealizability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..automata.buchi import BuchiAutomaton, Label
+from ..automata.gpvw import translate
+from ..logic.ast import Formula, Not
+from ..sat.cdcl import CDCLSolver
+from ..sat.cnf import CNF
+from .mealy import Letter, MealyMachine, all_letters
+
+
+@dataclass(frozen=True)
+class BoundedSynthesisResult:
+    """Outcome of one bounded synthesis attempt (fixed n, k)."""
+
+    realizable: bool
+    machine: Optional[MealyMachine]
+    num_states: int
+    annotation_bound: int
+    sat_vars: int = 0
+    sat_clauses: int = 0
+
+
+def synthesize(
+    specification: Formula,
+    inputs: Sequence[str],
+    outputs: Sequence[str],
+    num_states: int,
+    annotation_bound: Optional[int] = None,
+    moore_environment: bool = False,
+) -> BoundedSynthesisResult:
+    """One bounded-synthesis attempt for the *system* player.
+
+    ``moore_environment=True`` runs the dual encoding instead: a Moore
+    machine over ``outputs`` (the environment's moves are then the
+    specification's inputs) — used by :func:`synthesize_environment`.
+    """
+    automaton = translate(Not(specification)).degeneralize()
+    return _synthesize_against(
+        automaton,
+        adversary=tuple(sorted(inputs)),
+        controlled=tuple(sorted(outputs)),
+        num_states=num_states,
+        annotation_bound=annotation_bound,
+        moore=moore_environment,
+    )
+
+
+def synthesize_environment(
+    specification: Formula,
+    inputs: Sequence[str],
+    outputs: Sequence[str],
+    num_states: int,
+    annotation_bound: Optional[int] = None,
+) -> BoundedSynthesisResult:
+    """Bounded synthesis of an environment strategy enforcing ``!phi``.
+
+    The environment is a Moore machine emitting input letters; success
+    proves the original specification unrealizable.
+    """
+    automaton = translate(specification).degeneralize()
+    return _synthesize_against(
+        automaton,
+        adversary=tuple(sorted(outputs)),
+        controlled=tuple(sorted(inputs)),
+        num_states=num_states,
+        annotation_bound=annotation_bound,
+        moore=True,
+    )
+
+
+def _synthesize_against(
+    automaton: BuchiAutomaton,
+    adversary: Tuple[str, ...],
+    controlled: Tuple[str, ...],
+    num_states: int,
+    annotation_bound: Optional[int],
+    moore: bool,
+) -> BoundedSynthesisResult:
+    rejecting = automaton.accepting_sets[0] if automaton.accepting_sets else set()
+    states = sorted(automaton.reachable_states())
+    if annotation_bound is None:
+        annotation_bound = max(2, min(num_states * max(1, len(rejecting)), 8))
+    k = annotation_bound
+
+    cnf = CNF()
+    letters = all_letters(adversary)
+
+    # Transition choice: exactly one successor per (state, adversary letter).
+    delta: Dict[Tuple[int, Letter, int], int] = {}
+    for s in range(num_states):
+        for sigma in letters:
+            row = []
+            for t in range(num_states):
+                var = cnf.new_var(f"d{s},{'.'.join(sorted(sigma))},{t}")
+                delta[(s, sigma, t)] = var
+                row.append(var)
+            cnf.add_exactly_one(row)
+
+    # Output choice: per (state, letter) for Mealy, per state for Moore.
+    gamma: Dict[Tuple[int, Letter, str], int] = {}
+    for s in range(num_states):
+        for sigma in letters if not moore else [frozenset()]:
+            for prop in controlled:
+                var = cnf.new_var(f"g{s},{'.'.join(sorted(sigma))},{prop}")
+                gamma[(s, sigma, prop)] = var
+    if moore:
+        # Outputs ignore the letter; alias every letter to the state row.
+        for s in range(num_states):
+            for sigma in letters:
+                for prop in controlled:
+                    gamma[(s, sigma, prop)] = gamma[(s, frozenset(), prop)]
+
+    # Annotation: b[s][q] (defined) and unary counters u[s][q][j] (>= j).
+    defined: Dict[Tuple[int, int], int] = {}
+    counter: Dict[Tuple[int, int, int], int] = {}
+    for s in range(num_states):
+        for q in states:
+            defined[(s, q)] = cnf.new_var(f"b{s},{q}")
+            previous = defined[(s, q)]
+            for j in range(1, k + 1):
+                var = cnf.new_var(f"u{s},{q},{j}")
+                counter[(s, q, j)] = var
+                cnf.add([-var, previous])  # >= j implies >= j-1
+                previous = var
+
+    def at_least(s: int, q: int, j: int) -> Optional[int]:
+        """Literal for lambda(s,q) >= j; None when j exceeds the bound."""
+        if j <= 0:
+            return defined[(s, q)]
+        if j > k:
+            return None
+        return counter[(s, q, j)]
+
+    # Initial annotation.
+    for q0 in automaton.initial:
+        cnf.add([defined[(0, q0)]])
+
+    adversary_set = frozenset(adversary)
+    controlled_set = frozenset(controlled)
+
+    # Core constraints: every matching automaton edge propagates the
+    # annotation to the machine's successor state.
+    for q in states:
+        edges = automaton.successors(q)
+        for s in range(num_states):
+            for sigma in letters:
+                for label, q2 in edges:
+                    input_part = label.restrict(adversary_set)
+                    if not input_part.matches(sigma):
+                        continue
+                    output_pos = sorted(label.pos & controlled_set)
+                    output_neg = sorted(label.neg & controlled_set)
+                    guard = [gamma[(s, sigma, p)] for p in output_pos]
+                    guard += [-gamma[(s, sigma, p)] for p in output_neg]
+                    bump = 1 if q2 in rejecting else 0
+                    for t in range(num_states):
+                        base = [-delta[(s, sigma, t)]] + [-g for g in guard]
+                        for j in range(0, k + 1):
+                            source = at_least(s, q, j)
+                            target = at_least(t, q2, j + bump)
+                            if source is None:
+                                continue
+                            if target is None:
+                                # Counter overflow: the edge must not fire.
+                                cnf.add(base + [-source])
+                            else:
+                                cnf.add(base + [-source, target])
+                            if j == 0 and bump == 0:
+                                # definedness propagation is j == 0 case
+                                pass
+    result = CDCLSolver(cnf).solve()
+    if not result:
+        return BoundedSynthesisResult(
+            False, None, num_states, k, cnf.num_vars, len(cnf.clauses)
+        )
+
+    machine = MealyMachine(
+        inputs=adversary,
+        outputs=controlled,
+        num_states=num_states,
+        initial=0,
+    )
+    for s in range(num_states):
+        for sigma in letters:
+            successor = next(
+                t
+                for t in range(num_states)
+                if result.model[delta[(s, sigma, t)]]
+            )
+            output = frozenset(
+                prop
+                for prop in controlled
+                if result.model[abs(gamma[(s, sigma, prop)])]
+            )
+            machine.add_transition(s, sigma, successor, output)
+    return BoundedSynthesisResult(
+        True, machine, num_states, k, cnf.num_vars, len(cnf.clauses)
+    )

@@ -1,0 +1,274 @@
+"""The realizability driver: SpecCC's stage 2.
+
+Combines satisfiability pre-checking, variable-partitioned decomposition,
+the safety-game engine (realizable verdicts, G4LTL-style) and dual bounded
+synthesis (unrealizable verdicts) into a single entry point,
+:func:`check_realizability`.  Every produced controller is re-verified
+against its component's specification by the independent model checker in
+:mod:`repro.synthesis.verify` before it is returned.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..automata.ltlsat import satisfiable
+from ..logic.ast import Formula, conj
+from ..logic.semantics import LassoWord
+from .bounded import synthesize, synthesize_environment
+from .mealy import MealyMachine
+from .modular import Component, decompose
+from .safety_game import StateSpaceLimit, solve as solve_game
+from .verify import satisfies_specification
+
+
+class Verdict(enum.Enum):
+    REALIZABLE = "realizable"
+    UNREALIZABLE = "unrealizable"
+    UNKNOWN = "unknown"
+
+
+class Engine(enum.Enum):
+    """Which algorithm attempts the constructive (system) direction."""
+
+    SAFETY_GAME = "game"  # G4LTL's k-co-Büchi reduction
+    BOUNDED_SAT = "bounded"  # Finkbeiner-Schewe SAT encoding
+
+
+@dataclass
+class ComponentResult:
+    """Realizability outcome for one variable-connected component."""
+
+    component: Component
+    verdict: Verdict
+    controller: Optional[MealyMachine] = None
+    counterstrategy: Optional[MealyMachine] = None
+    unsat_witness: bool = False
+    method: str = ""  # which engine decided: obligations / game / bounded / ...
+    seconds: float = 0.0
+
+
+@dataclass
+class RealizabilityResult:
+    """Aggregated outcome for a whole specification."""
+
+    verdict: Verdict
+    components: List[ComponentResult] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def controllers(self) -> List[MealyMachine]:
+        return [
+            part.controller
+            for part in self.components
+            if part.controller is not None
+        ]
+
+    def failing_indices(self) -> Tuple[int, ...]:
+        """Requirement indices of non-realizable components."""
+        indices: List[int] = []
+        for part in self.components:
+            if part.verdict is not Verdict.REALIZABLE:
+                indices.extend(part.component.indices)
+        return tuple(indices)
+
+
+@dataclass(frozen=True)
+class SynthesisLimits:
+    """Search budgets for the semi-decision procedures."""
+
+    max_system_states: int = 3
+    max_environment_states: int = 3
+    max_game_bound: int = 3
+    max_game_positions: int = 200_000
+    verify_controllers: bool = True
+    #: Try the obligation-based certificate (fast, alphabet-independent)
+    #: before the exact engines.
+    use_obligations: bool = True
+    #: Components with more propositions than this skip the explicit
+    #: engines (their alphabets are out of reach) and the satisfiability
+    #: pre-check (tableau blow-up); the obligation check still applies.
+    max_explicit_variables: int = 12
+    #: The satisfiability pre-check builds one tableau for the whole
+    #: conjunction, which blows up combinatorially past a handful of
+    #: liveness requirements; cap the number of formulas it sees.
+    max_precheck_formulas: int = 6
+
+
+def check_realizability(
+    formulas: Sequence[Formula],
+    inputs: Sequence[str],
+    outputs: Sequence[str],
+    engine: Engine = Engine.SAFETY_GAME,
+    limits: SynthesisLimits = SynthesisLimits(),
+    modular: bool = True,
+) -> RealizabilityResult:
+    """Decide (semi-) realizability of the conjunction of *formulas*.
+
+    Inputs/outputs are global; each component only sees its own support.
+    """
+    start = time.perf_counter()
+    formulas = list(formulas)
+    if not formulas:
+        return RealizabilityResult(Verdict.REALIZABLE, [], 0.0)
+    if modular:
+        components = decompose(formulas)
+    else:
+        names = frozenset(name for f in formulas for name in _atoms(f))
+        components = [
+            Component(tuple(range(len(formulas))), tuple(formulas), names)
+        ]
+    input_set = frozenset(inputs)
+    output_set = frozenset(outputs)
+    results = []
+    verdicts = []
+    for component in components:
+        result = _check_component(component, input_set, output_set, engine, limits)
+        results.append(result)
+        verdicts.append(result.verdict)
+    if all(v is Verdict.REALIZABLE for v in verdicts):
+        overall = Verdict.REALIZABLE
+    elif any(v is Verdict.UNREALIZABLE for v in verdicts):
+        overall = Verdict.UNREALIZABLE
+    else:
+        overall = Verdict.UNKNOWN
+    return RealizabilityResult(overall, results, time.perf_counter() - start)
+
+
+def _atoms(formula: Formula):
+    from ..logic.ast import atoms
+
+    return atoms(formula)
+
+
+def _check_component(
+    component: Component,
+    input_set: frozenset,
+    output_set: frozenset,
+    engine: Engine,
+    limits: SynthesisLimits,
+) -> ComponentResult:
+    start = time.perf_counter()
+    specification = conj(component.formulas)
+    local_inputs = sorted(component.variables & input_set)
+    local_outputs = sorted(component.variables & output_set)
+    explicit_ok = len(component.variables) <= limits.max_explicit_variables
+    precheck_ok = (
+        explicit_ok and len(component.formulas) <= limits.max_precheck_formulas
+    )
+
+    # Cheap first stage: an unsatisfiable conjunction is never realizable.
+    # (Skipped for large components: the tableau would blow up.)
+    if precheck_ok and satisfiable(specification) is None:
+        return ComponentResult(
+            component,
+            Verdict.UNREALIZABLE,
+            unsat_witness=True,
+            method="satisfiability",
+            seconds=time.perf_counter() - start,
+        )
+
+    # A component without outputs is realizable iff the environment cannot
+    # violate it, i.e. the formula is valid over input behaviours.
+    if not local_outputs and precheck_ok:
+        from ..automata.ltlsat import is_valid
+
+        verdict = Verdict.REALIZABLE if is_valid(specification) else Verdict.UNREALIZABLE
+        return ComponentResult(
+            component, verdict, method="validity", seconds=time.perf_counter() - start
+        )
+
+    # Obligation certificate: alphabet-independent, decides the
+    # condition/response fragment that covers the case studies.
+    if limits.use_obligations:
+        from .invariants import ObligationOutcome, check_obligations
+
+        certificate = check_obligations(component.formulas, local_outputs)
+        if certificate.outcome is ObligationOutcome.REALIZABLE:
+            return ComponentResult(
+                component,
+                Verdict.REALIZABLE,
+                method="obligations",
+                seconds=time.perf_counter() - start,
+            )
+
+    if not explicit_ok:
+        return ComponentResult(
+            component,
+            Verdict.UNKNOWN,
+            method="too-large",
+            seconds=time.perf_counter() - start,
+        )
+
+    controller: Optional[MealyMachine] = None
+    counterstrategy: Optional[MealyMachine] = None
+    verdict = Verdict.UNKNOWN
+
+    # Dual (environment) synthesis enumerates the *output* alphabet as the
+    # adversary; it is only tractable for small output supports.
+    dual_ok = len(local_outputs) <= 8
+
+    if engine is Engine.SAFETY_GAME:
+        for bound in range(1, limits.max_game_bound + 1):
+            try:
+                outcome = solve_game(
+                    specification,
+                    local_inputs,
+                    local_outputs,
+                    bound=bound,
+                    max_positions=limits.max_game_positions,
+                )
+            except StateSpaceLimit:
+                break
+            if outcome.realizable:
+                controller = outcome.machine
+                verdict = Verdict.REALIZABLE
+                break
+            # Not winnable at this bound: consult the dual before growing k.
+            if dual_ok:
+                dual = synthesize_environment(
+                    specification, local_inputs, local_outputs, num_states=bound
+                )
+                if dual.realizable:
+                    counterstrategy = dual.machine
+                    verdict = Verdict.UNREALIZABLE
+                    break
+    else:
+        for size in range(1, max(limits.max_system_states, limits.max_environment_states) + 1):
+            if size <= limits.max_system_states:
+                attempt = synthesize(
+                    specification, local_inputs, local_outputs, num_states=size
+                )
+                if attempt.realizable:
+                    controller = attempt.machine
+                    verdict = Verdict.REALIZABLE
+                    break
+            if size <= limits.max_environment_states and dual_ok:
+                dual = synthesize_environment(
+                    specification, local_inputs, local_outputs, num_states=size
+                )
+                if dual.realizable:
+                    counterstrategy = dual.machine
+                    verdict = Verdict.UNREALIZABLE
+                    break
+
+    if (
+        controller is not None
+        and limits.verify_controllers
+        and not satisfies_specification(controller, specification)
+    ):
+        raise AssertionError(
+            "synthesized controller failed independent verification — "
+            "this indicates an engine bug, please report it"
+        )
+    return ComponentResult(
+        component,
+        verdict,
+        controller=controller,
+        counterstrategy=counterstrategy,
+        method="game" if engine is Engine.SAFETY_GAME else "bounded",
+        seconds=time.perf_counter() - start,
+    )

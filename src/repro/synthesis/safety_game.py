@@ -1,0 +1,232 @@
+"""The G4LTL-style engine: k-co-Büchi determinization to a safety game.
+
+G4LTL checks realizability by strengthening the universal co-Büchi
+condition ("rejecting states visited finitely often") to a k-co-Büchi one
+("… at most k times"), which determinizes cheaply into a *counting-function*
+safety automaton: each game position maps every automaton state to the
+maximal number of rejecting visits on any run reaching it (or absent).
+Solving the resulting safety game by backward induction yields a
+controller; growing ``k`` recovers completeness in the limit.
+
+Positions are explored on the fly, and only from input/output letters over
+the automaton's support, so requirements mentioning few propositions stay
+cheap regardless of the global alphabet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..automata.buchi import BuchiAutomaton
+from ..automata.gpvw import translate
+from ..logic.ast import Formula, Not
+from .mealy import Letter, MealyMachine, all_letters
+
+CountingFunction = Tuple[Tuple[int, int], ...]  # sorted ((state, count), ...)
+
+
+class StateSpaceLimit(RuntimeError):
+    """Raised when the explored game graph exceeds the configured cap."""
+
+
+@dataclass(frozen=True)
+class SafetyGameResult:
+    """Outcome of one k-bounded safety-game analysis."""
+
+    realizable: bool
+    machine: Optional[MealyMachine]
+    bound: int
+    positions_explored: int
+
+
+def solve(
+    specification: Formula,
+    inputs: Sequence[str],
+    outputs: Sequence[str],
+    bound: int = 2,
+    max_positions: int = 200_000,
+) -> SafetyGameResult:
+    """Solve the ``bound``-co-Büchi safety game for *specification*.
+
+    ``realizable=True`` is definitive; ``False`` only means "not winnable
+    within this bound" — the caller grows the bound or consults the dual
+    engine for unrealizability.
+    """
+    automaton = translate(Not(specification)).degeneralize()
+    rejecting = automaton.accepting_sets[0]
+    game = _Game(automaton, rejecting, tuple(sorted(inputs)), tuple(sorted(outputs)),
+                 bound, max_positions)
+    return game.solve()
+
+
+class _Game:
+    def __init__(
+        self,
+        automaton: BuchiAutomaton,
+        rejecting: Set[int],
+        inputs: Tuple[str, ...],
+        outputs: Tuple[str, ...],
+        bound: int,
+        max_positions: int,
+    ) -> None:
+        self.automaton = automaton
+        self.rejecting = rejecting
+        self.inputs = inputs
+        self.outputs = outputs
+        self.bound = bound
+        self.max_positions = max_positions
+        self.input_letters = all_letters(inputs)
+        self.output_letters = all_letters(outputs)
+        # Bitmask compilation: propositions get bit positions, transition
+        # guards become (positive mask, negative mask) pairs, and letters
+        # become integers — letter matching is then two AND operations,
+        # which is what keeps the 2^|O| output enumeration tolerable.
+        self.bit_of = {
+            name: index
+            for index, name in enumerate(sorted(set(inputs) | set(outputs)))
+        }
+        self.input_masks = [self._mask(letter) for letter in self.input_letters]
+        self.output_masks = [self._mask(letter) for letter in self.output_letters]
+        self.compiled: Dict[int, List[Tuple[int, int, int, int]]] = {}
+        for state in automaton.reachable_states():
+            rows = []
+            alphabet = frozenset(self.bit_of)
+            for label, successor in automaton.successors(state):
+                if label.pos - alphabet:
+                    # A positive literal over a proposition outside the
+                    # alphabet can never hold: the edge is dead.
+                    continue
+                # Negative literals over unknown propositions always hold
+                # (the proposition is never emitted) and are dropped.
+                pos = self._mask(label.pos)
+                neg = self._mask(label.neg & alphabet)
+                bump = 1 if successor in rejecting else 0
+                rows.append((pos, neg, successor, bump))
+            self.compiled[state] = rows
+        initial: Dict[int, int] = {}
+        for q in automaton.initial:
+            bump = 1 if q in rejecting else 0
+            initial[q] = max(initial.get(q, 0), bump)
+        self.initial = _freeze(initial)
+        # position -> {input letter -> {output letter -> successor or None}}
+        self.successors: Dict[
+            CountingFunction, Dict[Letter, Dict[Letter, Optional[CountingFunction]]]
+        ] = {}
+
+    def _mask(self, names: FrozenSet[str]) -> int:
+        mask = 0
+        for name in names:
+            mask |= 1 << self.bit_of[name]
+        return mask
+
+    # ------------------------------------------------------------- exploration
+    def _update_mask(
+        self, position: CountingFunction, letter: int
+    ) -> Optional[CountingFunction]:
+        """Deterministic counting-function successor; None = unsafe."""
+        result: Dict[int, int] = {}
+        bound = self.bound
+        get = result.get
+        for state, count in position:
+            for pos, neg, successor, bump in self.compiled[state]:
+                if letter & pos != pos or letter & neg:
+                    continue
+                bumped = count + bump
+                if bumped > bound:
+                    return None
+                if get(successor, -1) < bumped:
+                    result[successor] = bumped
+        return _freeze(result)
+
+    def _explore(self) -> None:
+        worklist = [self.initial]
+        self.successors[self.initial] = {}
+        while worklist:
+            position = worklist.pop()
+            table = self.successors[position]
+            for sigma, sigma_mask in zip(self.input_letters, self.input_masks):
+                row: Dict[Letter, Optional[CountingFunction]] = {}
+                cache: Dict[int, Optional[CountingFunction]] = {}
+                for out, out_mask in zip(self.output_letters, self.output_masks):
+                    combined = sigma_mask | out_mask
+                    if combined in cache:
+                        successor = cache[combined]
+                    else:
+                        successor = self._update_mask(position, combined)
+                        cache[combined] = successor
+                    row[out] = successor
+                    if successor is not None and successor not in self.successors:
+                        if len(self.successors) >= self.max_positions:
+                            raise StateSpaceLimit(
+                                f"safety game exceeded {self.max_positions} positions"
+                            )
+                        self.successors[successor] = {}
+                        worklist.append(successor)
+                table[sigma] = row
+
+    # ------------------------------------------------------------------ solve
+    def solve(self) -> SafetyGameResult:
+        self._explore()
+        losing: Set[CountingFunction] = set()
+        changed = True
+        while changed:
+            changed = False
+            for position, table in self.successors.items():
+                if position in losing:
+                    continue
+                if self._is_losing(table, losing):
+                    losing.add(position)
+                    changed = True
+        explored = len(self.successors)
+        if self.initial in losing:
+            return SafetyGameResult(False, None, self.bound, explored)
+        machine = self._extract(losing)
+        return SafetyGameResult(True, machine, self.bound, explored)
+
+    def _is_losing(
+        self,
+        table: Dict[Letter, Dict[Letter, Optional[CountingFunction]]],
+        losing: Set[CountingFunction],
+    ) -> bool:
+        for row in table.values():
+            if all(
+                successor is None or successor in losing
+                for successor in row.values()
+            ):
+                return True
+        return False
+
+    def _extract(self, losing: Set[CountingFunction]) -> MealyMachine:
+        """Deterministic strategy over the winning region."""
+        order: Dict[CountingFunction, int] = {self.initial: 0}
+        machine = MealyMachine(
+            inputs=self.inputs, outputs=self.outputs, num_states=0
+        )
+        worklist = [self.initial]
+        transitions: List[Tuple[int, Letter, CountingFunction, Letter]] = []
+        while worklist:
+            position = worklist.pop()
+            source = order[position]
+            for sigma in self.input_letters:
+                row = self.successors[position][sigma]
+                chosen: Optional[Tuple[Letter, CountingFunction]] = None
+                for out in self.output_letters:
+                    successor = row[out]
+                    if successor is not None and successor not in losing:
+                        chosen = (out, successor)
+                        break
+                assert chosen is not None, "winning position must have a move"
+                out, successor = chosen
+                if successor not in order:
+                    order[successor] = len(order)
+                    worklist.append(successor)
+                transitions.append((source, sigma, successor, out))
+        machine.num_states = len(order)
+        for source, sigma, successor, out in transitions:
+            machine.add_transition(source, sigma, order[successor], out)
+        return machine
+
+
+def _freeze(mapping: Dict[int, int]) -> CountingFunction:
+    return tuple(sorted(mapping.items()))

@@ -1,0 +1,64 @@
+"""Stage 1 of SpecCC: structured English to LTL with time abstraction and
+input/output partitioning."""
+
+from .partition import (
+    Partition,
+    RequirementPartition,
+    classify_requirement,
+    partition_formulas,
+    partition_report,
+    unify,
+)
+from .propositions import Proposition, clause_propositions
+from .semantics import (
+    Color,
+    SemanticAnalysis,
+    WordEntry,
+    analyse,
+    mutual_exclusion_assumptions,
+    no_reasoning,
+)
+from .templates import TranslationOptions, clause_formula, group_formula, sentence_formula
+from .timeabs import (
+    AbstractionMethod,
+    AbstractionResult,
+    abstract_time,
+    chain_lengths,
+    rewrite_chains,
+)
+from .translator import (
+    RequirementTranslation,
+    SpecificationTranslation,
+    Translator,
+    translate_requirements,
+)
+
+__all__ = [
+    "AbstractionMethod",
+    "AbstractionResult",
+    "Color",
+    "Partition",
+    "Proposition",
+    "RequirementPartition",
+    "RequirementTranslation",
+    "SemanticAnalysis",
+    "SpecificationTranslation",
+    "TranslationOptions",
+    "Translator",
+    "WordEntry",
+    "abstract_time",
+    "analyse",
+    "chain_lengths",
+    "classify_requirement",
+    "clause_formula",
+    "clause_propositions",
+    "group_formula",
+    "mutual_exclusion_assumptions",
+    "no_reasoning",
+    "partition_formulas",
+    "partition_report",
+    "rewrite_chains",
+    "sentence_formula",
+    "translate_requirements",
+    "unify",
+]

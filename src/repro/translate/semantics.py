@@ -1,0 +1,196 @@
+"""Semantic reasoning over antonym candidates — Algorithm 1 of the paper.
+
+The algorithm walks the ``<subject, dependent>`` table extracted by the
+dependency analysis.  For every subject with more than one adjective
+dependent it consults the antonym oracle; words found to be semantically
+contrasting are coloured *blue* and paired, the rest stay *green*.  Blue
+pairs let the translator reuse one proposition for both words —
+``unavailable_pulse_wave`` becomes ``!available_pulse_wave`` — which both
+shrinks the proposition set and removes the need for mutual-exclusion
+assumptions.
+
+The paper further abbreviates: "When there is only one pair of adjective
+or adverb antonyms for a subject, we abbreviate the propositions by just
+using the subject and its negative form" — ``available_pulse_wave`` is
+written ``pulse_wave``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..nlp.antonyms import AntonymDictionary
+from ..nlp.dependencies import subject_dependents
+from ..nlp.grammar import Sentence
+from .propositions import Proposition
+
+
+class Color(enum.Enum):
+    """Algorithm 1's word colouring."""
+
+    GREEN = "green"  # no antonym found among the subject's dependents
+    BLUE = "blue"  # paired with a contrasting word
+
+
+@dataclass
+class WordEntry:
+    """Per-word bookkeeping (the paper's ``wordset``).
+
+    The antonym cache is global (one ``online(w)`` lookup per word), while
+    colors are tracked per subject: the same word may be paired under one
+    subject and unpaired under another.
+    """
+
+    word: str
+    antonyms: Set[str] = field(default_factory=set)
+    colors: Dict[str, Color] = field(default_factory=dict)  # subject -> color
+
+    def color_for(self, subject: str) -> Color:
+        return self.colors.get(subject, Color.GREEN)
+
+
+@dataclass
+class SemanticAnalysis:
+    """Output of Algorithm 1 plus the derived proposition reduction."""
+
+    wordset: Dict[str, WordEntry]
+    pairs_by_subject: Dict[str, List[Tuple[str, str]]]  # (positive, negative)
+    dictionary: Optional[AntonymDictionary] = None
+    enabled: bool = True
+
+    def antonym_pairs(self) -> List[Tuple[str, str, str]]:
+        """All (subject, positive, negative) triples found."""
+        triples = []
+        for subject in sorted(self.pairs_by_subject):
+            for positive, negative in self.pairs_by_subject[subject]:
+                triples.append((subject, positive, negative))
+        return triples
+
+    def color_of(self, word: str, subject: str) -> Color:
+        entry = self.wordset.get(word)
+        return entry.color_for(subject) if entry is not None else Color.GREEN
+
+    # -- proposition reduction (Section IV-D + appendix abbreviation) ------
+    def reduce(self, proposition: Proposition) -> Proposition:
+        """Rewrite an adjective proposition through its antonym pair."""
+        if not self.enabled or not proposition.is_antonym_candidate:
+            return proposition
+        subject = proposition.subject
+        pairs = self.pairs_by_subject.get(subject, [])
+        # The abbreviation applies when every pair of the subject shares one
+        # positive form ("available" paired with both "unavailable" and
+        # "lost" still denotes a single variable).
+        positives = {positive for positive, _ in pairs}
+        for positive, negative in pairs:
+            if proposition.complement not in (positive, negative):
+                continue
+            flip = proposition.complement == negative
+            negated = proposition.negated != flip
+            if len(positives) == 1:
+                return Proposition(subject, negated, subject, positive)
+            return Proposition(
+                f"{positive}_{subject}", negated, subject, positive
+            )
+        # No observed pair: still normalise morphologically negative
+        # adjectives ("unavailable" -> !available), which is always sound.
+        stem = _strip_negation_prefix(proposition.complement)
+        if stem is not None:
+            return Proposition(
+                f"{stem}_{subject}", not proposition.negated, subject, stem
+            )
+        # Likewise for curated negatives with a unique positive antonym
+        # ("disabled" -> !enabled): the dictionary certifies the pair.
+        unique = self._unique_curated_positive(proposition.complement)
+        if unique is not None:
+            return Proposition(
+                f"{unique}_{subject}", not proposition.negated, subject, unique
+            )
+        return proposition
+
+    def _unique_curated_positive(self, word: Optional[str]) -> Optional[str]:
+        if word is None or self.dictionary is None:
+            return None
+        curated = self.dictionary.pairs.get(word.lower())
+        if curated is not None and len(curated) == 1:
+            positive = next(iter(curated))
+            if self.dictionary.is_positive(positive, word):
+                return positive
+        return None
+
+
+def _strip_negation_prefix(word: Optional[str]) -> Optional[str]:
+    """The positive stem of a morphologically negated adjective, if any."""
+    from ..nlp import lexicon
+
+    if word is None:
+        return None
+    for prefix in ("un", "in", "dis", "non"):
+        stem = word[len(prefix):]
+        if word.startswith(prefix) and stem in lexicon.ADJECTIVES:
+            return stem
+    return None
+
+
+def analyse(
+    sentences: Sequence[Sentence],
+    dictionary: Optional[AntonymDictionary] = None,
+) -> SemanticAnalysis:
+    """Run Algorithm 1 over a parsed specification."""
+    if dictionary is None:
+        dictionary = AntonymDictionary.default()
+
+    subjects = subject_dependents(sentences)
+    wordset: Dict[str, WordEntry] = {}
+    for dependents in subjects.values():
+        for word in sorted(dependents):
+            wordset.setdefault(word, WordEntry(word))
+
+    pairs_by_subject: Dict[str, List[Tuple[str, str]]] = {}
+    for subject in sorted(subjects):
+        dependents = subjects[subject]
+        if len(dependents) <= 1:
+            # A single dependent cannot form a pair within this subject;
+            # Algorithm 1 skips it (line 3: |s.dep| > 1).
+            continue
+        for word in sorted(dependents):
+            entry = wordset[word]
+            if entry.color_for(subject) is not Color.GREEN:
+                continue
+            if not entry.antonyms:
+                entry.antonyms = set(dictionary.lookup(word))  # online(w)
+            found = dependents & entry.antonyms
+            if not found:
+                continue
+            entry.colors[subject] = Color.BLUE
+            for other in sorted(found):
+                other_entry = wordset[other]
+                other_entry.colors[subject] = Color.BLUE
+                other_entry.antonyms.add(word)
+                positive, negative = (
+                    (word, other)
+                    if dictionary.is_positive(word, other)
+                    else (other, word)
+                )
+                pairs_by_subject.setdefault(subject, []).append(
+                    (positive, negative)
+                )
+    return SemanticAnalysis(wordset, pairs_by_subject, dictionary)
+
+
+def no_reasoning() -> SemanticAnalysis:
+    """An analysis that reduces nothing (the ablation baseline)."""
+    return SemanticAnalysis({}, {}, None, enabled=False)
+
+
+def mutual_exclusion_assumptions(
+    analysis: SemanticAnalysis,
+) -> List[Tuple[str, str]]:
+    """Pairs of propositions that would need explicit mutual-exclusion
+    assumptions if semantic reasoning were disabled — used by the ablation
+    benchmark to quantify the saving the paper claims."""
+    assumptions = []
+    for subject, positive, negative in analysis.antonym_pairs():
+        assumptions.append((f"{positive}_{subject}", f"{negative}_{subject}"))
+    return assumptions

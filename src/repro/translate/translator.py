@@ -1,0 +1,141 @@
+"""The full stage-1 translator: structured English -> LTL + I/O partition.
+
+Ties together parsing (:mod:`repro.nlp`), semantic reasoning (Algorithm 1),
+template instantiation, time abstraction (Section IV-E) and the I/O
+partition heuristic (Section IV-F).  The output
+:class:`SpecificationTranslation` is what the consistency-checking stage
+(:mod:`repro.core`) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..logic.ast import Formula, atoms as formula_atoms
+from ..logic.rewrite import simplify
+from ..nlp.antonyms import AntonymDictionary
+from ..nlp.grammar import Sentence, parse_sentence
+from ..nlp.tokenizer import split_sentences
+from ..smt.timeopt import Sign
+from .partition import Partition, partition_formulas
+from .semantics import SemanticAnalysis, analyse, no_reasoning
+from .templates import TranslationOptions, sentence_formula
+from .timeabs import AbstractionMethod, AbstractionResult, abstract_time
+
+
+@dataclass(frozen=True)
+class RequirementTranslation:
+    """One requirement through every translation stage."""
+
+    identifier: str
+    text: str
+    sentence: Sentence
+    raw_formula: Formula  # before time abstraction
+    formula: Formula  # after time abstraction + simplification
+
+
+@dataclass
+class SpecificationTranslation:
+    """A fully translated specification."""
+
+    requirements: List[RequirementTranslation]
+    analysis: SemanticAnalysis
+    abstraction: AbstractionResult
+    partition: Partition
+
+    @property
+    def formulas(self) -> Tuple[Formula, ...]:
+        return tuple(req.formula for req in self.requirements)
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.partition.inputs)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.partition.outputs)
+
+    def variables(self) -> Tuple[str, ...]:
+        names = set()
+        for requirement in self.requirements:
+            names |= formula_atoms(requirement.formula)
+        return tuple(sorted(names))
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self.requirements)} formulas, "
+            f"{self.num_inputs} inputs, {self.num_outputs} outputs"
+        ]
+        for requirement in self.requirements:
+            lines.append(f"  [{requirement.identifier}] {requirement.formula}")
+        return "\n".join(lines)
+
+
+class Translator:
+    """Stage 1 of SpecCC (Figure 1): natural language to LTL."""
+
+    def __init__(
+        self,
+        options: TranslationOptions = TranslationOptions(),
+        dictionary: Optional[AntonymDictionary] = None,
+        abstraction: AbstractionMethod = AbstractionMethod.OPTIMAL,
+        error_bound: int = 5,
+        signs: Optional[Sequence[Sign]] = None,
+    ) -> None:
+        self.options = options
+        self.dictionary = dictionary if dictionary is not None else AntonymDictionary.default()
+        self.abstraction = abstraction
+        self.error_bound = error_bound
+        self.signs = signs
+
+    def translate(
+        self,
+        requirements: Sequence[Tuple[str, str]],
+    ) -> SpecificationTranslation:
+        """Translate ``(identifier, sentence)`` pairs into a specification."""
+        sentences = [
+            (identifier, text, parse_sentence(text))
+            for identifier, text in requirements
+        ]
+        if self.options.semantic_reasoning:
+            analysis = analyse([s for _, _, s in sentences], self.dictionary)
+        else:
+            analysis = no_reasoning()
+
+        raw_formulas = [
+            sentence_formula(sentence, analysis, self.options)
+            for _, _, sentence in sentences
+        ]
+        abstraction = abstract_time(
+            raw_formulas,
+            method=self.abstraction,
+            error_bound=self.error_bound,
+            signs=self.signs,
+        )
+        translated = [
+            RequirementTranslation(
+                identifier, text, sentence, raw, simplify(abstracted)
+            )
+            for (identifier, text, sentence), raw, abstracted in zip(
+                sentences, raw_formulas, abstraction.formulas
+            )
+        ]
+        partition = partition_formulas([req.formula for req in translated])
+        return SpecificationTranslation(translated, analysis, abstraction, partition)
+
+    def translate_document(self, document: str) -> SpecificationTranslation:
+        """Translate a plain-text requirement document (one sentence per
+        line; ``#`` comments allowed).  Requirements are numbered R1..Rn."""
+        pairs = [
+            (f"R{number}", sentence)
+            for number, sentence in enumerate(split_sentences(document), start=1)
+        ]
+        return self.translate(pairs)
+
+
+def translate_requirements(
+    requirements: Sequence[Tuple[str, str]], **kwargs
+) -> SpecificationTranslation:
+    """Convenience one-shot wrapper around :class:`Translator`."""
+    return Translator(**kwargs).translate(requirements)

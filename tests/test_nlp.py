@@ -1,0 +1,315 @@
+"""Tests for the NLP substrate: tokenizer, lexicon, grammar, tree, deps."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp import (
+    AntonymDictionary,
+    StructuredEnglishError,
+    TimeConstraint,
+    clause_dependencies,
+    normalise_name,
+    parse_sentence,
+    render_sentence,
+    split_sentences,
+    subject_dependents,
+    syntax_tree,
+    tokenize,
+)
+from repro.nlp import lexicon
+
+
+class TestTokenizer:
+    def test_simple_sentence(self):
+        tokens = tokenize("The cuff is inflated.")
+        assert [t.text for t in tokens] == ["the", "cuff", "is", "inflated", "."]
+
+    def test_hyphenated_word_kept_together(self):
+        tokens = tokenize("auto-control mode")
+        assert tokens[0].text == "auto-control"
+
+    def test_numbers(self):
+        tokens = tokenize("in 180 seconds")
+        assert [t.text for t in tokens] == ["in", "180", "seconds"]
+
+    def test_split_sentences_skips_comments_and_blanks(self):
+        document = """
+        # CARA requirements
+        The pump is started.
+
+        The pump is stopped.
+        """
+        assert len(list(split_sentences(document))) == 2
+
+    def test_split_on_full_stop_within_line(self):
+        sentences = list(split_sentences("A is started. B is stopped."))
+        assert len(sentences) == 2
+
+
+class TestLexicon:
+    @pytest.mark.parametrize(
+        "word,lemma",
+        [
+            ("pressed", "press"),
+            ("terminated", "terminate"),
+            ("plugged", "plug"),
+            ("issued", "issue"),
+            ("lost", "lose"),
+            ("running", "run"),
+            ("monitors", "monitor"),
+            ("is", "be"),
+            ("inflated", "inflate"),
+        ],
+    )
+    def test_verb_lemma(self, word, lemma):
+        assert lexicon.verb_lemma(word) == lemma
+
+    def test_unknown_word_is_not_verb(self):
+        assert lexicon.verb_lemma("cuff") is None
+        assert lexicon.verb_lemma("xylophone") is None
+
+    def test_adjectives(self):
+        assert lexicon.is_adjective("available")
+        assert lexicon.is_adjective("unavailable")
+        assert lexicon.is_adjective("nonoperational")
+        assert not lexicon.is_adjective("press")
+
+    def test_parse_number(self):
+        assert lexicon.parse_number("3") == 3
+        assert lexicon.parse_number("three") == 3
+        assert lexicon.parse_number("sixty") == 60
+        assert lexicon.parse_number("banana") is None
+
+
+class TestTimeConstraint:
+    def test_ticks_in_seconds(self):
+        assert TimeConstraint(3, "seconds").ticks() == 3
+        assert TimeConstraint(2, "minutes").ticks() == 120
+        assert TimeConstraint(120, "seconds").ticks(unit_seconds=60) == 2
+
+    def test_ticks_rejects_fractional(self):
+        with pytest.raises(ValueError):
+            TimeConstraint(90, "seconds").ticks(unit_seconds=60)
+
+
+class TestClauseParsing:
+    def test_passive(self):
+        sentence = parse_sentence("The cuff is inflated.")
+        clause = sentence.main.clauses[0]
+        assert clause.subjects == ["cuff"]
+        assert clause.verb == "inflate"
+        assert clause.passive
+
+    def test_progressive(self):
+        clause = parse_sentence("Auto control mode is running.").main.clauses[0]
+        assert clause.verb == "run"
+        assert clause.progressive
+
+    def test_complement(self):
+        clause = parse_sentence("The pulse wave is available.").main.clauses[0]
+        assert clause.verb is None
+        assert clause.complement == "available"
+
+    def test_negation(self):
+        clause = parse_sentence("The cuff is not available.").main.clauses[0]
+        assert clause.negated
+
+    def test_modality_and_future(self):
+        clause = parse_sentence("The alarm should sound.").main.clauses[0]
+        assert clause.modality == "should"
+        clause = parse_sentence("The cuff will be inflated.").main.clauses[0]
+        assert clause.modality == "will"
+
+    def test_cannot_sets_negation(self):
+        clause = parse_sentence("The pump cannot be started.").main.clauses[0]
+        assert clause.negated and clause.modality == "can"
+
+    def test_linking_verb(self):
+        clause = parse_sentence("Air Ok signal remains low.").main.clauses[0]
+        assert clause.complement == "low"
+        assert clause.subjects == ["air_ok_signal"]
+
+    def test_active_with_object(self):
+        clause = parse_sentence("The system enters the manual mode.").main.clauses[0]
+        assert clause.verb == "enter"
+        assert clause.object == "manual_mode"
+
+    def test_particle(self):
+        clause = parse_sentence("The LSTAT is powered on.").main.clauses[0]
+        assert clause.verb == "power" and clause.particle == "on"
+
+    def test_prepositional_complement(self):
+        clause = parse_sentence("Robot 1 is in room 3.").main.clauses[0]
+        assert clause.complement == "in_room_3"
+
+    def test_constraint(self):
+        clause = parse_sentence("The alarm is issued in 60 seconds.").main.clauses[0]
+        assert clause.constraint == TimeConstraint(60, "seconds")
+
+    def test_subject_conjunction(self):
+        clause = parse_sentence("Pulse wave or arterial line is available.").main.clauses[0]
+        assert clause.subjects == ["pulse_wave", "arterial_line"]
+        assert clause.subject_conjunction == "or"
+
+    def test_attributive_adjective_dropped(self):
+        clause = parse_sentence("A valid blood pressure is unavailable.").main.clauses[0]
+        assert clause.subjects == ["blood_pressure"]
+
+    def test_mixed_subject_conjunction_rejected(self):
+        with pytest.raises(StructuredEnglishError):
+            parse_sentence("The cuff and pulse wave or arterial line is lost.")
+
+    def test_missing_predicate_rejected(self):
+        with pytest.raises(StructuredEnglishError):
+            parse_sentence("The red cuff colour thing.")
+
+    def test_empty_sentence_rejected(self):
+        with pytest.raises(StructuredEnglishError):
+            parse_sentence("   ")
+
+
+class TestSentenceStructure:
+    def test_leading_subclause(self):
+        sentence = parse_sentence(
+            "When auto control mode is entered, the cuff is inflated."
+        )
+        assert len(sentence.pre) == 1
+        assert sentence.pre[0].subordinator == "when"
+        assert len(sentence.main.clauses) == 1
+
+    def test_subclause_continuation(self):
+        sentence = parse_sentence(
+            "If the pump is started, and the line is clear, the rate is updated."
+        )
+        assert len(sentence.pre) == 1
+        assert len(sentence.pre[0].group.clauses) == 2
+        assert sentence.pre[0].group.connectives == ["and"]
+
+    def test_trailing_subclause(self):
+        sentence = parse_sentence(
+            "The CARA will be operational whenever the LSTAT is powered on."
+        )
+        assert len(sentence.post) == 1
+        assert sentence.post[0].subordinator == "whenever"
+
+    def test_until_subclause(self):
+        sentence = parse_sentence(
+            "The button is enabled until it is pressed."
+        )
+        assert sentence.post[0].subordinator == "until"
+
+    def test_next_marker_on_main(self):
+        sentence = parse_sentence(
+            "If the cuff is lost, next manual mode is started."
+        )
+        assert sentence.main.clauses[0].next_marker
+
+    def test_nested_if(self):
+        sentence = parse_sentence(
+            "If override selection is provided, if override yes is pressed, "
+            "next arterial line is selected."
+        )
+        assert len(sentence.pre) == 2
+
+    def test_conjoined_main_clauses(self):
+        sentence = parse_sentence(
+            "If the cuff is lost, an alarm is issued and override selection is provided."
+        )
+        assert len(sentence.main.clauses) == 2
+        assert sentence.main.connectives == ["and"]
+
+    def test_modifier(self):
+        sentence = parse_sentence(
+            "When the mode is entered, eventually the cuff is inflated."
+        )
+        assert sentence.main.clauses[0].modifier == "eventually"
+
+
+class TestSyntaxTree:
+    def test_figure2_shape(self):
+        # Figure 2 of the paper: Req-17 decomposes into a when-subclause and
+        # a main clause with the "eventually" modifier.
+        sentence = parse_sentence(
+            "When auto-control mode is entered, eventually the cuff will be inflated."
+        )
+        tree = syntax_tree(sentence)
+        assert tree.label == "sentence"
+        labels = [child.label for child in tree.children]
+        assert labels == ["subclause", "clause"]
+        subclause = tree.children[0]
+        assert subclause.children[0].label == "subordinator"
+        assert subclause.children[0].text == "when"
+        main = tree.children[1]
+        assert [c.label for c in main.children] == ["modifier", "subject", "predicate"]
+
+    def test_render_is_stable(self):
+        sentence = parse_sentence("If the cuff is lost, the alarm is issued.")
+        assert render_sentence(sentence) == render_sentence(sentence)
+        assert "subordinator: if" in render_sentence(sentence)
+
+
+class TestDependencies:
+    def test_acomp_for_complement(self):
+        sentence = parse_sentence("The pulse wave is available.")
+        deps = clause_dependencies(sentence.main.clauses[0])
+        assert any(
+            d.relation == "acomp" and d.head == "pulse_wave" and d.dependent == "available"
+            for d in deps
+        )
+
+    def test_nsubjpass_for_passive(self):
+        sentence = parse_sentence("The cuff is inflated.")
+        deps = clause_dependencies(sentence.main.clauses[0])
+        assert any(d.relation == "nsubjpass" for d in deps)
+
+    def test_subject_dependents_table(self):
+        sentences = [
+            parse_sentence("The pulse wave is available."),
+            parse_sentence("The pulse wave is unavailable."),
+            parse_sentence("The cuff is inflated."),
+        ]
+        table = subject_dependents(sentences)
+        assert table == {"pulse_wave": {"available", "unavailable"}}
+
+
+class TestAntonymDictionary:
+    def test_curated_pairs(self):
+        dictionary = AntonymDictionary.default()
+        assert dictionary.are_antonyms("available", "unavailable")
+        assert dictionary.are_antonyms("unavailable", "available")
+        assert dictionary.are_antonyms("lost", "available")
+
+    def test_morphology(self):
+        dictionary = AntonymDictionary.default()
+        assert "unreachable" in dictionary.lookup("reachable")
+        assert "reachable" in dictionary.lookup("unreachable")
+
+    def test_polarity(self):
+        dictionary = AntonymDictionary.default()
+        assert dictionary.is_positive("available", "unavailable")
+        assert not dictionary.is_positive("unavailable", "available")
+        assert dictionary.is_positive("enabled", "disabled")
+
+    def test_polarity_deterministic_for_unknown_pairs(self):
+        dictionary = AntonymDictionary.default()
+        assert dictionary.is_positive("alpha", "beta")
+        assert not dictionary.is_positive("beta", "alpha")
+
+    def test_custom_pairs(self):
+        dictionary = AntonymDictionary.from_pairs([("hot", "cold")])
+        assert dictionary.are_antonyms("hot", "cold")
+        assert dictionary.is_positive("hot", "cold")
+
+
+class TestNormaliseName:
+    def test_joins_with_underscore(self):
+        assert normalise_name(["auto-control", "mode"]) == "auto_control_mode"
+
+    @given(st.lists(st.sampled_from(["pump", "line-a", "it's"]), min_size=1, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_never_contains_hyphen_or_quote(self, parts):
+        name = normalise_name(parts)
+        assert "-" not in name and "'" not in name

@@ -1,0 +1,202 @@
+"""End-to-end tests of the SpecCC pipeline (Figure 1) and its refinement
+loop, plus the case-study integration checks behind Table I."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    SpecCC,
+    SpecCCConfig,
+    SynthesisLimits,
+    TranslationOptions,
+    Verdict,
+)
+from repro.automata import equivalent
+from repro.casestudies import (
+    GOLD_FORMULAS,
+    INITIALLY_FAILING_ROWS,
+    MODE_SWITCHING_REQUIREMENTS,
+    application_requirements,
+    component_requirements,
+    robot_requirements,
+)
+from repro.logic import parse
+from repro.translate import TranslationOptions as TOpts
+from repro.translate import Translator
+
+
+PAPER_CONFIG = SpecCCConfig(translation=TranslationOptions(next_as_x=False))
+
+
+class TestPipelineBasics:
+    def test_consistent_toy_specification(self):
+        tool = SpecCC()
+        report = tool.check_document(
+            "If the button is pressed, the door is opened.\n"
+            "If the alarm is issued, the door is not opened.\n"
+        )
+        # "alarm is issued" is input-like; the pair conflicts, so the
+        # repair loop must move a variable before the spec checks out.
+        assert report.consistent
+        assert "verdict: realizable" in report.summary()
+
+    def test_inconsistent_specification_is_localized(self):
+        # Repairs disabled: the heuristic could otherwise "fix" the clash
+        # by declaring the sensor an output.
+        config = SpecCCConfig(max_partition_repairs=0)
+        report = SpecCC(config).check(
+            [
+                ("R1", "If the sensor is active, the valve is opened."),
+                ("R2", "If the sensor is active, the valve is not opened."),
+            ]
+        )
+        assert not report.consistent
+        assert set(report.inconsistent_requirements()) == {"R1", "R2"}
+
+    def test_unsatisfiable_pair_detected(self):
+        tool = SpecCC()
+        report = tool.check(
+            [
+                ("R1", "The valve is opened."),
+                ("R2", "The valve is not opened."),
+            ]
+        )
+        assert not report.consistent
+
+    def test_controllers_for_exact_engine(self):
+        config = SpecCCConfig(
+            limits=SynthesisLimits(use_obligations=False),
+        )
+        report = SpecCC(config).check(
+            [("R1", "If the button is pressed, the lamp is activated.")]
+        )
+        assert report.consistent
+        assert len(report.controllers) == 1
+
+    def test_repair_is_reported(self):
+        tool = SpecCC()
+        report = tool.check(
+            [
+                ("R1", "If the session is active, the page is displayed."),
+                ("R2", "If the notice is posted, the page is not displayed."),
+            ]
+        )
+        assert report.consistent
+        assert report.repair_attempts >= 1
+        assert report.repaired_partition is not None
+
+    def test_repair_can_be_disabled(self):
+        config = SpecCCConfig(max_partition_repairs=0, localize_on_failure=False)
+        report = SpecCC(config).check(
+            [
+                ("R1", "If the session is active, the page is displayed."),
+                ("R2", "If the notice is posted, the page is not displayed."),
+            ]
+        )
+        assert not report.consistent
+
+
+class TestCaraGold:
+    """Translation fidelity against the appendix's hand-listed LTL."""
+
+    @pytest.fixture(scope="class")
+    def translated(self):
+        translator = Translator(options=TOpts(next_as_x=False))
+        return translator.translate(list(MODE_SWITCHING_REQUIREMENTS))
+
+    def test_every_requirement_matches_gold(self, translated):
+        for requirement in translated.requirements:
+            gold = parse(GOLD_FORMULAS[requirement.identifier])
+            assert requirement.formula == gold or equivalent(
+                requirement.formula, gold
+            ), requirement.identifier
+
+    def test_time_abstraction_matches_paper(self, translated):
+        # Section IV-E running example: Theta={3,60,180}, B=5 -> d=60.
+        solution = translated.abstraction.solution
+        assert solution.divisor == 60
+        assert translated.abstraction.mapping == {3: 0, 60: 1, 180: 3}
+
+    def test_antonym_pairs_include_paper_example(self, translated):
+        pairs = translated.analysis.antonym_pairs()
+        assert ("pulse_wave", "available", "unavailable") in pairs
+
+    def test_specification_is_consistent(self, translated):
+        report = SpecCC(PAPER_CONFIG).check_translated(translated)
+        assert report.verdict is Verdict.REALIZABLE
+
+    def test_formula_count_matches_table(self, translated):
+        assert len(translated.requirements) == 30
+
+
+class TestTableIScales:
+    EXPECTED = {
+        "1": (20, 9, 14),
+        "2.1.1": (14, 13, 12),
+        "2.1.2": (15, 11, 14),
+        "2.1.3": (14, 9, 12),
+        "2.2.1": (16, 14, 15),
+        "2.2.2": (19, 11, 16),
+        "2.2.3": (13, 11, 10),
+        "2.2.4": (11, 9, 10),
+        "2.2.5": (16, 9, 13),
+        "2.2.6": (12, 8, 13),
+        "2.2.7": (20, 10, 21),
+        "3.1": (9, 15, 11),
+        "3.2": (56, 12, 20),
+    }
+
+    @pytest.fixture(scope="class")
+    def translator(self):
+        return Translator(options=TOpts(next_as_x=False))
+
+    def test_cara_component_scales(self, translator):
+        for row, requirements in component_requirements().items():
+            spec = translator.translate(requirements)
+            got = (len(spec.requirements), spec.num_inputs, spec.num_outputs)
+            assert got == self.EXPECTED[row], row
+
+    def test_telepromise_scales(self, translator):
+        expected = {
+            "1": (29, 11, 24),
+            "2": (17, 3, 13),
+            "3": (6, 3, 4),
+            "4": (15, 8, 14),
+            "5": (17, 7, 16),
+        }
+        for row, requirements in application_requirements().items():
+            spec = translator.translate(requirements)
+            got = (len(spec.requirements), spec.num_inputs, spec.num_outputs)
+            assert got == expected[row], row
+
+    def test_robot_scales(self, translator):
+        expected = {(1, 4): (9, 2, 5), (1, 9): (14, 2, 10), (2, 5): (25, 2, 11)}
+        for (robots, rooms), scale in expected.items():
+            spec = translator.translate(robot_requirements(robots, rooms))
+            got = (len(spec.requirements), spec.num_inputs, spec.num_outputs)
+            assert got == scale, (robots, rooms)
+
+
+class TestTableIVerdicts:
+    def test_cara_components_consistent(self):
+        tool = SpecCC(PAPER_CONFIG)
+        for row, requirements in list(component_requirements().items())[:4]:
+            report = tool.check(requirements)
+            assert report.verdict is Verdict.REALIZABLE, row
+
+    def test_telepromise_failing_rows_need_repair(self):
+        tool = SpecCC(PAPER_CONFIG)
+        for row, requirements in application_requirements().items():
+            report = tool.check(requirements)
+            assert report.verdict is Verdict.REALIZABLE, row
+            if row in INITIALLY_FAILING_ROWS:
+                assert report.repair_attempts >= 1, row
+            else:
+                assert report.repair_attempts == 0, row
+
+    def test_single_robot_instances_consistent(self):
+        tool = SpecCC(PAPER_CONFIG)
+        for robots, rooms in [(1, 4), (1, 9)]:
+            report = tool.check(robot_requirements(robots, rooms))
+            assert report.verdict is Verdict.REALIZABLE, (robots, rooms)

@@ -1,0 +1,247 @@
+"""Tests for the SAT substrate: CNF container, Tseitin, CDCL vs brute force."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic import parse
+from repro.sat import (
+    CDCLSolver,
+    CNF,
+    NotPropositional,
+    assert_formula,
+    encode,
+    solve,
+    solve_brute,
+)
+
+
+def cnf_of(*clauses):
+    cnf = CNF()
+    for clause in clauses:
+        cnf.add(clause)
+    return cnf
+
+
+class TestCNF:
+    def test_new_var_counts_up(self):
+        cnf = CNF()
+        assert cnf.new_var() == 1
+        assert cnf.new_var() == 2
+        assert cnf.num_vars == 2
+
+    def test_named_vars_are_stable(self):
+        cnf = CNF()
+        a = cnf.var("a")
+        b = cnf.var("b")
+        assert cnf.var("a") == a
+        assert a != b
+        assert cnf.name_of(a) == "a"
+        assert cnf.name_of(-a) == "a"
+
+    def test_duplicate_name_rejected(self):
+        cnf = CNF()
+        cnf.new_var("x")
+        with pytest.raises(ValueError):
+            cnf.new_var("x")
+
+    def test_add_rejects_zero_literal(self):
+        cnf = CNF()
+        with pytest.raises(ValueError):
+            cnf.add([1, 0])
+
+    def test_add_grows_num_vars(self):
+        cnf = cnf_of([5, -7])
+        assert cnf.num_vars == 7
+
+    def test_dimacs_roundtrip(self):
+        cnf = cnf_of([1, -2], [2, 3], [-1])
+        text = cnf.to_dimacs()
+        back = CNF.from_dimacs(text)
+        assert back.clauses == cnf.clauses
+        assert back.num_vars == cnf.num_vars
+
+    def test_exactly_one(self):
+        cnf = CNF()
+        lits = [cnf.new_var() for _ in range(4)]
+        cnf.add_exactly_one(lits)
+        model = solve_brute(cnf)
+        assert model is not None
+        assert sum(model[abs(l)] for l in lits) == 1
+
+
+class TestCDCLBasics:
+    def test_empty_cnf_is_sat(self):
+        assert solve(CNF())
+
+    def test_unit_propagation(self):
+        result = solve(cnf_of([1], [-1, 2], [-2, 3]))
+        assert result
+        assert result.value(1) and result.value(2) and result.value(3)
+
+    def test_trivial_unsat(self):
+        assert not solve(cnf_of([1], [-1]))
+
+    def test_empty_clause_unsat(self):
+        cnf = CNF()
+        cnf.clauses.append([])
+        # normalise through the solver's add path instead
+        solver = CDCLSolver(cnf_of([1]))
+        solver.add_clause([])
+        assert not solver.solve()
+
+    def test_pigeonhole_3_in_2_unsat(self):
+        # 3 pigeons, 2 holes: var p(i,h) = 2*i + h + 1
+        cnf = CNF()
+        def v(i, h):
+            return 2 * i + h + 1
+        for i in range(3):
+            cnf.add([v(i, 0), v(i, 1)])
+        for h in range(2):
+            for i in range(3):
+                for j in range(i + 1, 3):
+                    cnf.add([-v(i, h), -v(j, h)])
+        assert not solve(cnf)
+
+    def test_model_satisfies_all_clauses(self):
+        cnf = cnf_of([1, 2, 3], [-1, -2], [-2, -3], [2, 3])
+        result = solve(cnf)
+        assert result
+        for clause in cnf.clauses:
+            assert any(result.value(lit) for lit in clause)
+
+    def test_statistics_reported(self):
+        result = solve(cnf_of([1, 2], [-1, 2], [1, -2], [-1, -2, 3]))
+        assert result.propagations >= 0
+        assert result.conflicts >= 0
+
+
+class TestAssumptions:
+    def test_sat_under_assumptions(self):
+        cnf = cnf_of([1, 2])
+        result = solve(cnf, assumptions=[-1])
+        assert result
+        assert result.value(2)
+
+    def test_unsat_under_assumptions_reports_core(self):
+        cnf = cnf_of([-1, 2], [-2, 3])
+        result = solve(cnf, assumptions=[1, -3])
+        assert not result
+        assert result.failed_assumptions
+        assert set(result.failed_assumptions) <= {1, -3}
+
+    def test_solver_reusable_after_assumption_unsat(self):
+        solver = CDCLSolver(cnf_of([-1, 2]))
+        assert not solver.solve(assumptions=[1, -2])
+        assert solver.solve(assumptions=[1])
+        assert solver.solve()
+
+    def test_incremental_clause_addition(self):
+        solver = CDCLSolver(cnf_of([1, 2]))
+        assert solver.solve()
+        solver.add_clause([-1])
+        result = solver.solve()
+        assert result and result.value(2)
+        solver.add_clause([-2])
+        assert not solver.solve()
+
+
+class TestTseitin:
+    def test_simple_formulas(self):
+        for text, expected in [
+            ("a && !a", False),
+            ("a || !a", True),
+            ("(a -> b) && a && !b", False),
+            ("(a <-> b) && a", True),
+            ("true", True),
+            ("false", False),
+        ]:
+            cnf = CNF()
+            assert_formula(parse(text), cnf)
+            assert bool(solve(cnf)) == expected, text
+
+    def test_shared_atoms_share_variables(self):
+        cnf = CNF()
+        lit1 = encode(parse("a"), cnf)
+        lit2 = encode(parse("a && a"), cnf)
+        cnf.add([lit1])
+        cnf.add([-lit2])
+        assert not solve(cnf)
+
+    def test_temporal_rejected(self):
+        cnf = CNF()
+        with pytest.raises(NotPropositional):
+            encode(parse("X a"), cnf)
+
+    def test_model_matches_semantics(self):
+        formula = parse("(a || b) && (!a || c) && (a <-> !b)")
+        cnf = CNF()
+        assert_formula(formula, cnf)
+        result = solve(cnf)
+        assert result
+        a, b, c = (result.model[cnf.var(n)] for n in "abc")
+        assert (a or b) and ((not a) or c) and (a == (not b))
+
+
+def random_cnf(rng: random.Random, num_vars: int, num_clauses: int) -> CNF:
+    cnf = CNF()
+    for _ in range(num_clauses):
+        width = rng.randint(1, 3)
+        clause = []
+        for _ in range(width):
+            var = rng.randint(1, num_vars)
+            clause.append(var if rng.random() < 0.5 else -var)
+        cnf.add(clause)
+    cnf.num_vars = max(cnf.num_vars, num_vars)
+    return cnf
+
+
+class TestCDCLAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_instances_agree(self, seed):
+        rng = random.Random(seed)
+        cnf = random_cnf(rng, num_vars=8, num_clauses=rng.randint(5, 40))
+        brute = solve_brute(cnf)
+        result = solve(cnf)
+        assert bool(result) == (brute is not None)
+        if result:
+            for clause in cnf.clauses:
+                assert any(result.value(lit) for lit in clause)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_hypothesis_instances_agree(self, seed):
+        rng = random.Random(seed)
+        cnf = random_cnf(rng, num_vars=6, num_clauses=rng.randint(1, 30))
+        brute = solve_brute(cnf)
+        result = solve(cnf)
+        assert bool(result) == (brute is not None)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_assumptions_agree_with_unit_clauses(self, seed):
+        rng = random.Random(1000 + seed)
+        cnf = random_cnf(rng, num_vars=7, num_clauses=20)
+        assumptions = [rng.choice([1, -1]) * rng.randint(1, 7) for _ in range(3)]
+        with_units = CNF()
+        with_units.add_all(cnf.clauses)
+        consistent = len({abs(a) for a in assumptions}) == len(assumptions) or True
+        for a in assumptions:
+            with_units.add([a])
+        expected = bool(solve(with_units))
+        got = bool(solve(cnf, assumptions=assumptions))
+        assert got == expected
+
+
+class TestBruteForce:
+    def test_cap_enforced(self):
+        cnf = CNF()
+        cnf.num_vars = 50
+        with pytest.raises(ValueError):
+            solve_brute(cnf)
+
+    def test_unsat_detected(self):
+        assert solve_brute(cnf_of([1], [-1])) is None

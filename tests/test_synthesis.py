@@ -1,0 +1,296 @@
+"""Tests for stage 2: Mealy machines, both engines, obligations, modular
+decomposition, localization, controller verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic import parse
+from repro.synthesis import (
+    Engine,
+    MealyMachine,
+    SynthesisLimits,
+    Verdict,
+    all_letters,
+    check_realizability,
+    decompose,
+    default_checker,
+    localize,
+    satisfies_specification,
+    solve_safety_game,
+    synthesize,
+    synthesize_environment,
+    violation_witness,
+)
+from repro.synthesis.invariants import (
+    ObligationOutcome,
+    check_obligations,
+    extract_obligations,
+)
+
+ENGINES = [Engine.SAFETY_GAME, Engine.BOUNDED_SAT]
+
+
+class TestMealyMachine:
+    def machine(self):
+        machine = MealyMachine(inputs=("a",), outputs=("b",), num_states=2)
+        machine.add_transition(0, [], 0, [])
+        machine.add_transition(0, ["a"], 1, ["b"])
+        machine.add_transition(1, [], 0, [])
+        machine.add_transition(1, ["a"], 1, ["b"])
+        return machine
+
+    def test_run(self):
+        outputs = self.machine().run([["a"], [], ["a"]])
+        assert outputs == [frozenset({"b"}), frozenset(), frozenset({"b"})]
+
+    def test_step_ignores_non_input_props(self):
+        state, output = self.machine().step(0, ["a", "other"])
+        assert state == 1 and output == frozenset({"b"})
+
+    def test_check_total(self):
+        machine = MealyMachine(inputs=("a",), outputs=(), num_states=1)
+        with pytest.raises(ValueError):
+            machine.check_total()
+
+    def test_all_letters(self):
+        letters = all_letters(["x", "y"])
+        assert len(letters) == 4
+        assert frozenset() in letters and frozenset({"x", "y"}) in letters
+
+    def test_to_dot_contains_transitions(self):
+        dot = self.machine().to_dot()
+        assert "digraph" in dot and "s0 -> s1" in dot
+
+
+class TestEnginesAgree:
+    CASES = [
+        ("G (r -> X g)", ["r"], ["g"], True),
+        ("G (r -> F g)", ["r"], ["g"], True),
+        ("G (g <-> X X i)", ["i"], ["g"], False),  # clairvoyance (footnote 1)
+        ("G (r -> g) && G (r -> !g)", ["r"], ["g"], False),
+        ("G (r -> g) && G (!r -> !g)", ["r"], ["g"], True),
+        ("G F g && G (g -> X !g)", [], ["g"], True),
+        ("F g && G !g", [], ["g"], False),  # unsatisfiable
+    ]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("text,inputs,outputs,realizable", CASES)
+    def test_verdicts(self, engine, text, inputs, outputs, realizable):
+        result = check_realizability([parse(text)], inputs, outputs, engine=engine)
+        expected = Verdict.REALIZABLE if realizable else Verdict.UNREALIZABLE
+        assert result.verdict is expected
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_controller_is_verified(self, engine):
+        # Disable the obligation certificate so the exact engine runs and
+        # produces an explicit controller.
+        result = check_realizability(
+            [parse("G (r -> X g)")],
+            ["r"],
+            ["g"],
+            engine=engine,
+            limits=SynthesisLimits(use_obligations=False),
+        )
+        (machine,) = result.controllers
+        assert satisfies_specification(machine, parse("G (r -> X g)"))
+
+    def test_empty_specification_realizable(self):
+        assert check_realizability([], ["i"], ["o"]).verdict is Verdict.REALIZABLE
+
+
+class TestVerifier:
+    def test_violation_found(self):
+        machine = MealyMachine(inputs=("r",), outputs=("g",), num_states=1)
+        machine.add_transition(0, [], 0, [])
+        machine.add_transition(0, ["r"], 0, [])  # never grants
+        word = violation_witness(machine, parse("G (r -> F g)"))
+        assert word is not None
+        assert not satisfies_specification(machine, parse("G (r -> F g)"))
+
+    def test_correct_controller_passes(self):
+        machine = MealyMachine(inputs=("r",), outputs=("g",), num_states=1)
+        machine.add_transition(0, [], 0, ["g"])
+        machine.add_transition(0, ["r"], 0, ["g"])
+        assert satisfies_specification(machine, parse("G (r -> F g)"))
+
+
+class TestSafetyGameEngine:
+    def test_bound_too_small_is_not_definitive(self):
+        # G (r -> F g) with the response delayed needs a larger bound; at
+        # bound 1 a single-state response still works, so pick a harder one:
+        outcome = solve_safety_game(
+            parse("G (r -> X X g)"), ["r"], ["g"], bound=1
+        )
+        # Whatever the verdict, a True answer must come with a machine.
+        if outcome.realizable:
+            assert outcome.machine is not None
+
+    def test_machine_extraction(self):
+        outcome = solve_safety_game(parse("G (r -> g)"), ["r"], ["g"], bound=2)
+        assert outcome.realizable
+        outcome.machine.check_total()
+        assert satisfies_specification(outcome.machine, parse("G (r -> g)"))
+
+    def test_position_cap(self):
+        from repro.synthesis import StateSpaceLimit
+
+        with pytest.raises(StateSpaceLimit):
+            solve_safety_game(
+                parse("G (a -> X X X X b)"), ["a"], ["b"], bound=3, max_positions=2
+            )
+
+
+class TestDualSynthesis:
+    def test_environment_wins_on_clairvoyance(self):
+        result = synthesize_environment(
+            parse("G (g <-> X X i)"), ["i"], ["g"], num_states=2
+        )
+        assert result.realizable
+        assert result.machine is not None
+
+    def test_environment_loses_on_realizable_spec(self):
+        result = synthesize_environment(
+            parse("G (r -> g)"), ["r"], ["g"], num_states=2
+        )
+        assert not result.realizable
+
+    def test_system_bounded_synthesis_returns_machine(self):
+        result = synthesize(parse("G (r -> X g)"), ["r"], ["g"], num_states=2)
+        assert result.realizable
+        assert satisfies_specification(result.machine, parse("G (r -> X g)"))
+
+
+class TestModularDecomposition:
+    def test_disjoint_formulas_split(self):
+        components = decompose([parse("G (a -> b)"), parse("G (c -> d)")])
+        assert len(components) == 2
+
+    def test_shared_variable_merges(self):
+        components = decompose(
+            [parse("G (a -> b)"), parse("G (b -> c)"), parse("G (d -> e)")]
+        )
+        assert len(components) == 2
+        sizes = sorted(len(c.formulas) for c in components)
+        assert sizes == [1, 2]
+
+    def test_indices_preserved(self):
+        components = decompose([parse("G (a -> b)"), parse("G (c -> d)")])
+        assert sorted(i for c in components for i in c.indices) == [0, 1]
+
+    def test_unrealizable_component_dominates(self):
+        result = check_realizability(
+            [parse("G (a -> b)"), parse("G (c -> d) && G (c -> !d)")],
+            ["a", "c"],
+            ["b", "d"],
+        )
+        assert result.verdict is Verdict.UNREALIZABLE
+        assert result.failing_indices() == (1,)
+
+
+class TestObligations:
+    def test_extraction_of_invariant(self):
+        obligations = extract_obligations(
+            parse("G (a -> b)"), frozenset({"b"})
+        )
+        assert len(obligations) == 1
+        assert obligations[0].response == parse("b")
+
+    def test_extraction_of_eventually(self):
+        obligations = extract_obligations(
+            parse("G (a -> F b)"), frozenset({"b"})
+        )
+        assert obligations is not None
+
+    def test_anti_causal_marked_always_active(self):
+        obligations = extract_obligations(
+            parse("G (X X X !bp -> trig)"), frozenset({"trig"})
+        )
+        assert obligations[0].always_active
+
+    def test_delayed_response_not_always_active(self):
+        obligations = extract_obligations(
+            parse("G (a -> X b)"), frozenset({"b"})
+        )
+        assert not obligations[0].always_active
+
+    def test_response_over_inputs_rejected(self):
+        assert extract_obligations(parse("G (a -> b)"), frozenset()) is None
+
+    def test_until_fragment(self):
+        formula = parse("G (e -> (!p -> (e2 W p)))")
+        obligations = extract_obligations(formula, frozenset({"e2"}))
+        assert obligations is not None
+        assert obligations[0].response == parse("e2")
+
+    def test_joint_conflict_detected(self):
+        result = check_obligations(
+            [parse("G (a -> o)"), parse("G (b -> !o)")], ["o"]
+        )
+        assert result.outcome is ObligationOutcome.INCONCLUSIVE
+        assert result.conflict is not None
+
+    def test_compatible_responses_realizable(self):
+        result = check_obligations(
+            [parse("G (a -> o1)"), parse("G (b -> !o1 || o2)")], ["o1", "o2"]
+        )
+        assert result.outcome is ObligationOutcome.REALIZABLE
+
+    def test_cross_validates_with_exact_engine(self):
+        # Every obligation-REALIZABLE verdict must agree with the game.
+        specs = [
+            (["G (a -> o)"], ["a"], ["o"]),
+            (["G (a -> F o)"], ["a"], ["o"]),
+            (["G (a -> o1 && o2)", "G (b -> o2)"], ["a", "b"], ["o1", "o2"]),
+        ]
+        for texts, inputs, outputs in specs:
+            formulas = [parse(t) for t in texts]
+            cert = check_obligations(formulas, outputs)
+            assert cert.outcome is ObligationOutcome.REALIZABLE
+            exact = check_realizability(
+                formulas, inputs, outputs,
+                limits=SynthesisLimits(use_obligations=False),
+            )
+            assert exact.verdict is Verdict.REALIZABLE
+
+    def test_large_alphabet_handled(self):
+        # 40 variables: far beyond the explicit engines.
+        formulas = [parse(f"G (i{k} -> o{k})") for k in range(20)]
+        result = check_realizability(
+            formulas, [f"i{k}" for k in range(20)], [f"o{k}" for k in range(20)]
+        )
+        assert result.verdict is Verdict.REALIZABLE
+        assert all(c.method == "obligations" for c in result.components)
+
+
+class TestLocalization:
+    def test_core_found(self):
+        formulas = [
+            parse("G (a -> x)"),
+            parse("G (b -> y)"),
+            parse("G (c -> y)"),
+            parse("G (b -> !y)"),  # conflicts with formula 1
+        ]
+        checker = default_checker(["a", "b", "c"], ["x", "y"])
+        result = localize(formulas, checker)
+        assert result is not None
+        assert result.culprit == 3
+        # Both {1,3} and {2,3} are minimal unrealizable cores; either is
+        # a correct localization.
+        assert 3 in result.core and len(result.core) == 2
+        assert checker([formulas[i] for i in result.core]) is Verdict.UNREALIZABLE
+
+    def test_realizable_specification_yields_none(self):
+        formulas = [parse("G (a -> x)"), parse("G (b -> y)")]
+        checker = default_checker(["a", "b"], ["x", "y"])
+        assert localize(formulas, checker) is None
+
+    def test_core_is_minimal(self):
+        formulas = [
+            parse("G (a -> x)"),
+            parse("G (a -> !x)"),
+            parse("G (a -> z)"),
+        ]
+        checker = default_checker(["a"], ["x", "z"])
+        result = localize(formulas, checker)
+        assert set(result.core) == {0, 1}
