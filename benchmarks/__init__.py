@@ -1,0 +1,5 @@
+"""Table I / figure reproduction benchmarks and the core perf runner.
+
+A package so ``pytest benchmarks/bench_table1_cara.py`` can resolve the
+shared helpers in ``conftest.py`` via a relative import.
+"""

@@ -1,0 +1,10 @@
+"""Shim so legacy installs work where PEP 517 tooling is unavailable.
+
+All metadata lives in ``pyproject.toml``.  Prefer ``pip install -e .``;
+``python setup.py develop`` is the fallback for offline environments that
+lack the ``wheel`` package (editable wheels cannot be built without it).
+"""
+
+from setuptools import setup
+
+setup()

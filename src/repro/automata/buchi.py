@@ -84,6 +84,12 @@ class BuchiAutomaton:
     accepting_sets: List[Set[int]] = field(default_factory=list)
     atoms: FrozenSet[str] = frozenset()
     state_info: Dict[int, str] = field(default_factory=dict)
+    #: Memoised result of :meth:`degeneralize`.  Valid because automata are
+    #: treated as immutable once built (the GPVW translation cache shares
+    #: them between engines); never set it by hand.
+    _degeneralized: Optional["BuchiAutomaton"] = field(
+        default=None, repr=False, compare=False
+    )
 
     def new_state(self, info: str = "") -> int:
         state = self.num_states
@@ -118,7 +124,15 @@ class BuchiAutomaton:
         States become ``(state, index)`` where *index* counts how many
         acceptance sets have been visited in order; completing the round trip
         through all sets is the single new acceptance condition.
+
+        The result is memoised: the synthesis engines degeneralize the same
+        cached translation once per formula instead of once per call.
         """
+        if self._degeneralized is None:
+            self._degeneralized = self._degeneralize()
+        return self._degeneralized
+
+    def _degeneralize(self) -> "BuchiAutomaton":
         if not self.accepting_sets:
             whole = set(range(self.num_states))
             base = BuchiAutomaton(

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from itertools import count
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from weakref import WeakKeyDictionary
 
 from ..logic.ast import (
     And,
@@ -62,18 +63,11 @@ _INIT = -1  # virtual predecessor of initial nodes
 
 # Stable per-formula sort keys make node processing independent of Python's
 # per-process hash randomisation, so repeated runs build identical automata
-# (important for reproducible benchmark tables).
-_sort_keys: Dict[Formula, str] = {}
-
-
-def _sort_key(formula: Formula) -> str:
-    key = _sort_keys.get(formula)
-    if key is None:
-        from ..logic.printer import to_str
-
-        key = to_str(formula)
-        _sort_keys[formula] = key
-    return key
+# (important for reproducible benchmark tables).  The canonical string is
+# cached on the interned node itself (Formula.sort_key), so — unlike the old
+# module-level ``_sort_keys`` dict — the cache dies with the formula instead
+# of growing forever in long-lived processes.
+_sort_key = Formula.sort_key
 
 
 def _pop_deterministic(formulas: Set[Formula]) -> Formula:
@@ -82,11 +76,49 @@ def _pop_deterministic(formulas: Set[Formula]) -> Formula:
     return chosen
 
 
-def translate(formula: Formula, *, simplify_nnf: bool = True) -> BuchiAutomaton:
+# Per-formula automaton cache (one per ``simplify_nnf`` flavour).  The
+# automaton depends only on the formula, so the realizability driver, the
+# partition-repair loop and the localization checker all reuse one
+# translation however often they revisit the formula.  Weak keys: entries
+# vanish with the (interned) formula.  Cached automata are shared — callers
+# must treat them as immutable, which every consumer in this code base does.
+_translation_cache: Tuple[
+    "WeakKeyDictionary[Formula, BuchiAutomaton]",
+    "WeakKeyDictionary[Formula, BuchiAutomaton]",
+] = (WeakKeyDictionary(), WeakKeyDictionary())
+
+
+def clear_translation_cache() -> None:
+    """Drop all cached formula-to-automaton translations."""
+    for cache in _translation_cache:
+        cache.clear()
+
+
+def translation_cache_size() -> int:
+    return sum(len(cache) for cache in _translation_cache)
+
+
+def translate(
+    formula: Formula, *, simplify_nnf: bool = True, use_cache: bool = True
+) -> BuchiAutomaton:
     """Translate *formula* into a generalized Büchi automaton.
 
     The automaton accepts exactly the infinite words satisfying *formula*.
+    Results are cached per formula (see ``_translation_cache``); pass
+    ``use_cache=False`` to force a fresh construction.
     """
+    cache = _translation_cache[bool(simplify_nnf)]
+    if use_cache:
+        cached = cache.get(formula)
+        if cached is not None:
+            return cached
+    automaton = _translate(formula, simplify_nnf)
+    if use_cache:
+        cache[formula] = automaton
+    return automaton
+
+
+def _translate(formula: Formula, simplify_nnf: bool) -> BuchiAutomaton:
     nnf = to_nnf(formula)
     if simplify_nnf:
         from ..logic.rewrite import simplify
@@ -98,14 +130,19 @@ def translate(formula: Formula, *, simplify_nnf: bool = True) -> BuchiAutomaton:
     names = count()
     initial = _Node(name=next(names), incoming={_INIT}, new={nnf})
 
-    # Finished nodes, keyed by (old, next) for merging.
-    finished: Dict[Tuple[FrozenSet[Formula], FrozenSet[Formula]], _Node] = {}
+    # Finished nodes, keyed by (old, next) for merging.  Interned formulas
+    # let the key be two frozensets of small ints — structural equality of
+    # formula sets collapses to integer-set equality.
+    finished: Dict[Tuple[FrozenSet[int], FrozenSet[int]], _Node] = {}
     worklist: List[_Node] = [initial]
 
     while worklist:
         node = worklist.pop()
         if not node.new:
-            key = (frozenset(node.old), frozenset(node.next))
+            key = (
+                frozenset(f._uid for f in node.old),
+                frozenset(f._uid for f in node.next),
+            )
             existing = finished.get(key)
             if existing is not None:
                 existing.incoming |= node.incoming
@@ -181,7 +218,7 @@ def _build_automaton(nnf: Formula, nodes: List[_Node]) -> BuchiAutomaton:
     automaton = BuchiAutomaton(atoms=formula_atoms(nnf))
     state_of: Dict[int, int] = {}
     for node in nodes:
-        description = ", ".join(sorted(str(f) for f in node.old)) or "true"
+        description = ", ".join(sorted(f.sort_key() for f in node.old)) or "true"
         state_of[node.name] = automaton.new_state(description)
 
     labels: Dict[int, Label] = {}
@@ -213,7 +250,12 @@ def _build_automaton(nnf: Formula, nodes: List[_Node]) -> BuchiAutomaton:
             automaton.add_transition(pre, labels[node.name], state_of[node.name])
     automaton.initial = {pre}
 
-    untils = [f for f in _closure(nnf) if isinstance(f, Until)]
+    # Sorted so the acceptance-set order (and hence degeneralization) is
+    # identical across runs, not just up to set reordering.
+    untils = sorted(
+        (f for f in _closure(nnf) if isinstance(f, Until)),
+        key=_sort_key,
+    )
     accepting_sets: List[Set[int]] = []
     for until in untils:
         members = {

@@ -16,7 +16,14 @@ from .gpvw import translate
 
 
 def satisfiable(formula: Formula) -> Optional[Witness]:
-    """A satisfying lasso word for *formula*, or ``None`` if unsatisfiable."""
+    """A satisfying lasso word for *formula*, or ``None`` if unsatisfiable.
+
+    Deliberately uncached beyond the automaton translation: the pipeline's
+    repeated satisfiability prechecks are absorbed upstream by the
+    component-outcome cache in :mod:`repro.synthesis.realizability`, and
+    the conjunction nodes queried here are short-lived, so a weak-keyed
+    witness cache would never be hit.
+    """
     return find_witness(translate(formula))
 
 

@@ -12,6 +12,15 @@ The pipeline chains the three stages of the paper:
    located by incremental subset growth, and the input/output partition is
    adjusted before re-analysis (Section V-B).
 
+Stages 2-3 revisit the same formulas over and over: every partition-repair
+iteration re-checks every component, and localization grows subsets one
+requirement at a time.  Formulas are interned (:mod:`repro.logic.ast`), so
+the realizability layer recognises repeats and serves component verdicts
+and Büchi automata from caches — only components actually affected by a
+repair are re-analysed.  The caches are semantically
+transparent; :meth:`SpecCC.clear_caches` resets them (benchmarking, or
+bounding memory in long-lived services).
+
 :class:`SpecCC` is the façade a user interacts with; it returns a
 :class:`ConsistencyReport` mirroring what the prototype tool prints.
 """
@@ -124,6 +133,13 @@ class SpecCC:
             error_bound=config.error_bound,
             signs=signs,
         )
+
+    @staticmethod
+    def clear_caches() -> None:
+        """Reset the process-wide realizability/translation caches."""
+        from ..synthesis.realizability import clear_caches
+
+        clear_caches()
 
     # ------------------------------------------------------------- pipeline
     def check(

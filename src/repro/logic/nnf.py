@@ -9,8 +9,6 @@ propositions and the only connectives are ``&&``, ``||``, ``X``, ``U`` and
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from .ast import (
     FALSE,
     TRUE,
@@ -31,13 +29,30 @@ from .ast import (
 )
 
 
-@lru_cache(maxsize=16384)
 def to_nnf(formula: Formula) -> Formula:
     """Rewrite *formula* into negation normal form over {&&, ||, X, U, R}."""
     return _positive(formula)
 
 
 def _positive(formula: Formula) -> Formula:
+    # Identity-keyed memoisation on the interned node: shared subtrees are
+    # normalised once, and the cache lives exactly as long as the formula.
+    cached = formula._nnf_pos
+    if cached is None:
+        cached = _positive_uncached(formula)
+        object.__setattr__(formula, "_nnf_pos", cached)
+    return cached
+
+
+def _negative(formula: Formula) -> Formula:
+    cached = formula._nnf_neg
+    if cached is None:
+        cached = _negative_uncached(formula)
+        object.__setattr__(formula, "_nnf_neg", cached)
+    return cached
+
+
+def _positive_uncached(formula: Formula) -> Formula:
     if isinstance(formula, (Bool, Atom)):
         return formula
     if isinstance(formula, Not):
@@ -72,7 +87,7 @@ def _positive(formula: Formula) -> Formula:
     raise TypeError(f"unknown formula node: {formula!r}")
 
 
-def _negative(formula: Formula) -> Formula:
+def _negative_uncached(formula: Formula) -> Formula:
     if isinstance(formula, Bool):
         return FALSE if formula.value else TRUE
     if isinstance(formula, Atom):

@@ -10,8 +10,6 @@ reports readable.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from .ast import (
     FALSE,
     TRUE,
@@ -32,20 +30,37 @@ from .ast import (
 )
 
 
-@lru_cache(maxsize=16384)
 def simplify(formula: Formula) -> Formula:
-    """Apply local simplification rules bottom-up until a fixpoint."""
-    previous = None
+    """Apply local simplification rules bottom-up until a fixpoint.
+
+    Memoised on the interned nodes themselves (``_simplified``): with
+    interning, equality is identity, so the fixpoint test is a pointer
+    comparison and every formula is normalised at most once per lifetime.
+    """
+    cached = formula._simplified
+    if cached is not None:
+        return cached
+    chain = [formula]
     current = formula
-    while current != previous:
-        previous = current
-        current = _simplify_once(current)
+    while True:
+        step = _simplify_once(current)
+        if step is current:
+            break
+        chain.append(step)
+        current = step
+    for node in chain:
+        object.__setattr__(node, "_simplified", current)
     return current
 
 
 def _simplify_once(formula: Formula) -> Formula:
     if isinstance(formula, (Bool, Atom)):
         return formula
+    # A node already known to be fully simplified is a fixpoint of this
+    # function; returning it early just skips ahead some iterations.
+    cached = formula._simplified
+    if cached is not None:
+        return cached
 
     children = [_simplify_once(child) for child in formula.children()]
 

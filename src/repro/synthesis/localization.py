@@ -9,6 +9,13 @@ formulas."
 :func:`localize` implements exactly that incremental growth, followed by a
 shrinking pass that removes formulas irrelevant to the conflict, yielding
 an (inclusion-)minimal unrealizable core.
+
+The growth loop issues O(n) realizability queries over overlapping subsets
+and the shrink loop another O(core²) — almost all of whose components have
+been analysed before.  With interned formulas the realizability layer's
+component cache answers those repeats without re-translating a single
+formula, which is what keeps localization affordable on Table-I-sized
+specifications.
 """
 
 from __future__ import annotations
@@ -97,7 +104,11 @@ def _proposition_closure(
     formulas: Sequence[Formula], candidates: Sequence[int], culprit: int
 ) -> List[int]:
     """Indices connected to the culprit through shared propositions."""
-    names = set(atoms(formulas[culprit]))
+    # atoms() is cached per interned node, but hoisting the lookups keeps
+    # the fixpoint loop free of repeated frozenset construction.
+    support = {index: atoms(formulas[index]) for index in candidates}
+    support[culprit] = atoms(formulas[culprit])
+    names = set(support[culprit])
     selected = {culprit}
     changed = True
     while changed:
@@ -105,9 +116,8 @@ def _proposition_closure(
         for index in candidates:
             if index in selected:
                 continue
-            overlap = atoms(formulas[index]) & names
-            if overlap:
+            if support[index] & names:
                 selected.add(index)
-                names |= atoms(formulas[index])
+                names |= support[index]
                 changed = True
     return sorted(selected)

@@ -11,10 +11,13 @@ against its component's specification by the independent model checker in
 from __future__ import annotations
 
 import enum
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
+from ..automata import gpvw
 from ..automata.ltlsat import satisfiable
 from ..logic.ast import Formula, conj
 from ..logic.semantics import LassoWord
@@ -98,6 +101,50 @@ class SynthesisLimits:
     max_precheck_formulas: int = 6
 
 
+class _ComponentOutcome(NamedTuple):
+    """The partition-independent part of a component analysis."""
+
+    verdict: "Verdict"
+    controller: Optional[MealyMachine]
+    counterstrategy: Optional[MealyMachine]
+    unsat_witness: bool
+    method: str
+
+
+# Translation-result cache: a component's analysis is a pure function of its
+# formulas, its *local* input/output split, the engine and the limits — not
+# of the global partition.  The partition-repair loop in core/pipeline.py
+# and the subset-growth localization checker therefore rehit this cache for
+# every component the current repair/growth step did not actually change,
+# and the per-formula Büchi automata behind it (gpvw/ltlsat caches) are
+# never rebuilt.  Bounded LRU so long-lived processes cannot accumulate
+# controllers without end.
+_ComponentKey = Tuple[
+    Tuple[Formula, ...], Tuple[str, ...], Tuple[str, ...], "Engine", "SynthesisLimits"
+]
+_component_cache: "OrderedDict[_ComponentKey, _ComponentOutcome]" = OrderedDict()
+_COMPONENT_CACHE_LIMIT = 2048
+# Guards lookup/insert/evict as a unit (the lru_caches this cache replaced
+# were thread-safe; an unsynchronized move_to_end can race an eviction).
+_component_lock = threading.Lock()
+
+
+def clear_caches() -> None:
+    """Reset every formula-level cache behind the realizability stack.
+
+    Benchmarks use this to measure cold paths; ordinary callers never need
+    it — all caches are keyed by interned formulas and semantically
+    transparent.
+    """
+    _component_cache.clear()
+    gpvw.clear_translation_cache()
+
+
+def component_cache_info() -> Tuple[int, int]:
+    """(current size, capacity) of the component-outcome cache."""
+    return len(_component_cache), _COMPONENT_CACHE_LIMIT
+
+
 def check_realizability(
     formulas: Sequence[Formula],
     inputs: Sequence[str],
@@ -152,23 +199,50 @@ def _check_component(
     limits: SynthesisLimits,
 ) -> ComponentResult:
     start = time.perf_counter()
-    specification = conj(component.formulas)
-    local_inputs = sorted(component.variables & input_set)
-    local_outputs = sorted(component.variables & output_set)
-    explicit_ok = len(component.variables) <= limits.max_explicit_variables
-    precheck_ok = (
-        explicit_ok and len(component.formulas) <= limits.max_precheck_formulas
+    local_inputs = tuple(sorted(component.variables & input_set))
+    local_outputs = tuple(sorted(component.variables & output_set))
+    key = (component.formulas, local_inputs, local_outputs, engine, limits)
+    with _component_lock:
+        outcome = _component_cache.get(key)
+        if outcome is not None:
+            _component_cache.move_to_end(key)
+    if outcome is None:
+        outcome = _analyze_component(
+            component.formulas, local_inputs, local_outputs, engine, limits
+        )
+        with _component_lock:
+            _component_cache[key] = outcome
+            if len(_component_cache) > _COMPONENT_CACHE_LIMIT:
+                _component_cache.popitem(last=False)
+    return ComponentResult(
+        component,
+        outcome.verdict,
+        controller=outcome.controller,
+        counterstrategy=outcome.counterstrategy,
+        unsat_witness=outcome.unsat_witness,
+        method=outcome.method,
+        seconds=time.perf_counter() - start,
     )
+
+
+def _analyze_component(
+    formulas: Tuple[Formula, ...],
+    local_inputs: Tuple[str, ...],
+    local_outputs: Tuple[str, ...],
+    engine: Engine,
+    limits: SynthesisLimits,
+) -> _ComponentOutcome:
+    specification = conj(formulas)
+    # The component's variable set is a function of its formulas (union of
+    # their atoms), so it is safe to derive under the cache key.
+    explicit_ok = len(_atoms(specification)) <= limits.max_explicit_variables
+    precheck_ok = explicit_ok and len(formulas) <= limits.max_precheck_formulas
 
     # Cheap first stage: an unsatisfiable conjunction is never realizable.
     # (Skipped for large components: the tableau would blow up.)
     if precheck_ok and satisfiable(specification) is None:
-        return ComponentResult(
-            component,
-            Verdict.UNREALIZABLE,
-            unsat_witness=True,
-            method="satisfiability",
-            seconds=time.perf_counter() - start,
+        return _ComponentOutcome(
+            Verdict.UNREALIZABLE, None, None, True, "satisfiability"
         )
 
     # A component without outputs is realizable iff the environment cannot
@@ -177,31 +251,21 @@ def _check_component(
         from ..automata.ltlsat import is_valid
 
         verdict = Verdict.REALIZABLE if is_valid(specification) else Verdict.UNREALIZABLE
-        return ComponentResult(
-            component, verdict, method="validity", seconds=time.perf_counter() - start
-        )
+        return _ComponentOutcome(verdict, None, None, False, "validity")
 
     # Obligation certificate: alphabet-independent, decides the
     # condition/response fragment that covers the case studies.
     if limits.use_obligations:
         from .invariants import ObligationOutcome, check_obligations
 
-        certificate = check_obligations(component.formulas, local_outputs)
+        certificate = check_obligations(formulas, local_outputs)
         if certificate.outcome is ObligationOutcome.REALIZABLE:
-            return ComponentResult(
-                component,
-                Verdict.REALIZABLE,
-                method="obligations",
-                seconds=time.perf_counter() - start,
+            return _ComponentOutcome(
+                Verdict.REALIZABLE, None, None, False, "obligations"
             )
 
     if not explicit_ok:
-        return ComponentResult(
-            component,
-            Verdict.UNKNOWN,
-            method="too-large",
-            seconds=time.perf_counter() - start,
-        )
+        return _ComponentOutcome(Verdict.UNKNOWN, None, None, False, "too-large")
 
     controller: Optional[MealyMachine] = None
     counterstrategy: Optional[MealyMachine] = None
@@ -264,11 +328,10 @@ def _check_component(
             "synthesized controller failed independent verification — "
             "this indicates an engine bug, please report it"
         )
-    return ComponentResult(
-        component,
+    return _ComponentOutcome(
         verdict,
-        controller=controller,
-        counterstrategy=counterstrategy,
-        method="game" if engine is Engine.SAFETY_GAME else "bounded",
-        seconds=time.perf_counter() - start,
+        controller,
+        counterstrategy,
+        False,
+        "game" if engine is Engine.SAFETY_GAME else "bounded",
     )
