@@ -273,10 +273,14 @@ class _Encoding:
 
         self.sum_scaled = builder.sum_all(self.scaled_vars)
         self.sum_errors = builder.sum_all(self.error_vars)
+        # A budget beyond what the sum vector can represent is vacuous
+        # (every |Delta_i| is already capped above); clamp it so the
+        # constant fits instead of raising (e.g. thetas=[1], bound=4).
+        budget = min(problem.bound, (1 << self.sum_errors.width) - 1)
         builder.require(
             builder.less_equal(
                 self.sum_errors,
-                builder.constant(problem.bound, self.sum_errors.width),
+                builder.constant(budget, self.sum_errors.width),
             )
         )
         self.solver = CDCLSolver(builder.cnf)

@@ -136,7 +136,8 @@ def clear_caches() -> None:
     it — all caches are keyed by interned formulas and semantically
     transparent.
     """
-    _component_cache.clear()
+    with _component_lock:
+        _component_cache.clear()
     gpvw.clear_translation_cache()
 
 

@@ -221,6 +221,17 @@ class TestBitblastSolver:
         )
         bitblast.check(problem)
 
+    def test_bound_exceeding_error_sum_width(self):
+        # Regression: thetas=[1] gives a 2-bit error sum, and a budget of 4
+        # used to overflow the constant instead of being treated as vacuous.
+        problem = TimeAbstractionProblem.of([1], 4)
+        reference = solve_reference(problem)
+        bitblast = solve_bitblast(problem)
+        assert (bitblast.cost_next, bitblast.cost_error) == (
+            reference.cost_next,
+            reference.cost_error,
+        )
+
     @given(
         st.lists(st.integers(1, 20), min_size=1, max_size=3, unique=True),
         st.integers(0, 6),
