@@ -1,0 +1,230 @@
+"""Service-layer benchmark runner — emits ``BENCH_service.json``.
+
+Measures the two workloads the :mod:`repro.service` subsystem exists for:
+
+* **edit_loop**: the paper's maintenance scenario — an N-requirement
+  document, k single-sentence edits, re-checked after every edit.
+  *incremental* uses one long-lived :class:`repro.SpecSession` (only the
+  edited component is re-translated/re-analysed); *fresh* clears every
+  cache and runs a new ``SpecCC.check`` per edit, which is what the
+  one-shot CLI amounted to before this subsystem existed.
+* **batch**: throughput in documents/second over the generated Table-I
+  component specifications at 1/4/8 workers (thread backend, shared
+  caches; optionally the process backend), with a byte-identity check
+  that parallel verdict reports equal the sequential ones.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py           # -> BENCH_service.json
+    PYTHONPATH=src python benchmarks/bench_service.py --quick   # smoke run (CI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import SpecCC, SpecCCConfig, SpecSession, TranslationOptions  # noqa: E402
+from repro.casestudies import component_requirements  # noqa: E402
+from repro.service.batch import BatchChecker  # noqa: E402
+
+SCHEMA = "repro-bench-service/1"
+
+
+def _config() -> SpecCCConfig:
+    return SpecCCConfig(translation=TranslationOptions(next_as_x=False))
+
+
+# --------------------------------------------------------------- edit loop
+def edit_workload(size: int) -> List[Tuple[str, str]]:
+    """*size* single-requirement components over disjoint variable pools."""
+    return [
+        (
+            f"R{index}",
+            f"If the sensor {index} is active, the device {index} is started.",
+        )
+        for index in range(1, size + 1)
+    ]
+
+
+def edit_sequence(size: int, edits: int) -> List[Tuple[str, str]]:
+    """k single-sentence edits cycling through the document."""
+    sequence = []
+    for edit in range(edits):
+        index = (edit * 7) % size + 1  # stride so edits spread over the doc
+        adjective = "normal" if edit % 2 == 0 else "active"
+        sequence.append(
+            (
+                f"R{index}",
+                f"If the sensor {index} is {adjective}, "
+                f"the device {index} is started.",
+            )
+        )
+    return sequence
+
+
+def bench_edit_loop(quick: bool) -> Dict[str, object]:
+    size = 12 if quick else 40
+    edits = 4 if quick else 12
+    requirements = edit_workload(size)
+    sequence = edit_sequence(size, edits)
+
+    # Incremental: one session, caches warm across the whole loop.
+    SpecCC.clear_caches()
+    session = SpecSession(SpecCC(_config()))
+    for identifier, sentence in requirements:
+        session.add(identifier, sentence)
+    first = session.check()
+    incremental_verdicts = []
+    reanalyzed_per_edit = []
+    start = time.perf_counter()
+    for identifier, sentence in sequence:
+        session.update(identifier, sentence)
+        report = session.check()
+        incremental_verdicts.append(report.verdict.value)
+        reanalyzed_per_edit.append(len(report.delta.reanalyzed))
+    incremental_seconds = time.perf_counter() - start
+
+    # Fresh: what re-running the one-shot pipeline per edit costs.  Caches
+    # are cleared per edit — a fresh process has nothing warmed.
+    state = dict(requirements)
+    fresh_verdicts = []
+    start = time.perf_counter()
+    for identifier, sentence in sequence:
+        state[identifier] = sentence
+        SpecCC.clear_caches()
+        tool = SpecCC(_config())
+        report = tool.check(list(state.items()))
+        fresh_verdicts.append(report.verdict.value)
+    fresh_seconds = time.perf_counter() - start
+
+    return {
+        "requirements": size,
+        "edits": edits,
+        "first_check_seconds": first.seconds,
+        "incremental_seconds": incremental_seconds,
+        "fresh_seconds": fresh_seconds,
+        "speedup": (
+            round(fresh_seconds / incremental_seconds, 2)
+            if incremental_seconds > 0
+            else None
+        ),
+        "max_components_reanalyzed_per_edit": max(reanalyzed_per_edit),
+        "verdicts_match": incremental_verdicts == fresh_verdicts,
+        "verdicts": incremental_verdicts,
+    }
+
+
+# -------------------------------------------------------------------- batch
+def batch_documents(quick: bool) -> List[Tuple[str, List[Tuple[str, str]]]]:
+    rows = sorted(component_requirements().items())
+    if quick:
+        rows = rows[:4]
+    return [(f"cara-{row}", list(reqs)) for row, reqs in rows]
+
+
+def bench_batch(quick: bool) -> Dict[str, object]:
+    documents = batch_documents(quick)
+    worker_counts = (1, 4) if quick else (1, 4, 8)
+    results: Dict[str, object] = {"documents": len(documents), "thread": {}}
+
+    canonical = None
+    deterministic = True
+    for workers in worker_counts:
+        SpecCC.clear_caches()
+        checker = BatchChecker(config=_config(), workers=workers)
+        start = time.perf_counter()
+        batch = checker.check_documents(documents)
+        seconds = time.perf_counter() - start
+        payload = [json.dumps(result.data, sort_keys=True) for result in batch]
+        if canonical is None:
+            canonical = payload
+        deterministic = deterministic and payload == canonical
+        results["thread"][str(workers)] = {
+            "seconds": seconds,
+            "docs_per_sec": round(len(documents) / seconds, 2) if seconds else None,
+        }
+
+    try:
+        SpecCC.clear_caches()
+        checker = BatchChecker(config=_config(), workers=4, backend="process")
+        start = time.perf_counter()
+        batch = checker.check_documents(documents)
+        seconds = time.perf_counter() - start
+        payload = [json.dumps(result.data, sort_keys=True) for result in batch]
+        deterministic = deterministic and payload == canonical
+        results["process"] = {
+            "4": {
+                "seconds": seconds,
+                "docs_per_sec": round(len(documents) / seconds, 2) if seconds else None,
+            }
+        }
+    except Exception as error:  # pragma: no cover - sandboxed CI runners
+        results["process"] = {"error": str(error)}
+
+    results["deterministic"] = deterministic
+    return results
+
+
+def build_report(quick: bool) -> Dict:
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "edit_loop": bench_edit_loop(quick),
+        "batch": bench_batch(quick),
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_service.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced sizes/worker counts for CI smoke runs",
+    )
+    args = parser.parse_args(argv)
+
+    report = build_report(quick=args.quick)
+    Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    loop = report["edit_loop"]
+    print(
+        f"edit_loop: {loop['requirements']} reqs x {loop['edits']} edits  "
+        f"incremental {loop['incremental_seconds']:.3f}s  "
+        f"fresh {loop['fresh_seconds']:.3f}s  "
+        f"speedup {loop['speedup']}x  "
+        f"(<= {loop['max_components_reanalyzed_per_edit']} components/edit)"
+    )
+    for workers, data in sorted(report["batch"]["thread"].items()):
+        print(
+            f"batch[thread x{workers}]: {data['seconds']:.3f}s  "
+            f"{data['docs_per_sec']} docs/s"
+        )
+    process = report["batch"].get("process", {})
+    for workers, data in sorted(process.items()):
+        if workers != "error":
+            print(
+                f"batch[process x{workers}]: {data['seconds']:.3f}s  "
+                f"{data['docs_per_sec']} docs/s"
+            )
+    print(f"deterministic: {report['batch']['deterministic']}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

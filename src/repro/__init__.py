@@ -22,19 +22,23 @@ Quickstart::
 
 from .core.pipeline import ConsistencyReport, SpecCC, SpecCCConfig
 from .logic import parse as parse_ltl
+from .service import BatchChecker, SessionReport, SpecSession
 from .synthesis.realizability import Engine, SynthesisLimits, Verdict
 from .translate.templates import TranslationOptions
 from .translate.timeabs import AbstractionMethod
 from .translate.translator import Translator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AbstractionMethod",
+    "BatchChecker",
     "ConsistencyReport",
     "Engine",
+    "SessionReport",
     "SpecCC",
     "SpecCCConfig",
+    "SpecSession",
     "SynthesisLimits",
     "TranslationOptions",
     "Translator",

@@ -1,14 +1,22 @@
-"""Command-line interface: ``python -m repro check <requirements.txt>``.
+"""Command-line interface.
 
-Runs the full SpecCC pipeline on a plain-text requirement document (one
-sentence per line, ``#`` comments allowed) and prints the consistency
-report; ``--ltl`` additionally prints the translated formulas, ``--tree``
-the syntax trees, and ``--controllers`` the synthesized Mealy machines.
+``python -m repro check <requirements.txt>`` runs the full SpecCC
+pipeline on a plain-text requirement document (one sentence per line,
+``#`` comments allowed) and prints the consistency report; ``--ltl``
+additionally prints the translated formulas, ``--tree`` the syntax trees,
+``--controllers`` the synthesized Mealy machines and ``--json`` a
+machine-readable report instead of the textual summary.
+
+``python -m repro serve`` runs the long-lived JSON-lines service loop on
+stdin/stdout (see :mod:`repro.service.server` for the protocol), and
+``python -m repro batch <dir>`` checks every ``*.txt`` document in a
+directory concurrently, one JSON report line per document.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -17,12 +25,38 @@ from .nlp import parse_sentence, render_sentence, split_sentences
 from .translate import AbstractionMethod, TranslationOptions
 
 
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--abstraction",
+        choices=[method.value for method in AbstractionMethod],
+        default=AbstractionMethod.OPTIMAL.value,
+        help="time abstraction method (default: optimal)",
+    )
+    parser.add_argument(
+        "--error-bound", type=int, default=5, help="budget B of Eq. (2)"
+    )
+    parser.add_argument(
+        "--keep-next",
+        action="store_true",
+        help="translate the 'next' marker as an X operator (the paper drops it)",
+    )
+
+
+def _config_from(args: argparse.Namespace) -> SpecCCConfig:
+    return SpecCCConfig(
+        translation=TranslationOptions(next_as_x=args.keep_next),
+        abstraction=AbstractionMethod(args.abstraction),
+        error_bound=args.error_bound,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SpecCC: consistency checking of natural-language specifications",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
     check = sub.add_parser("check", help="check one requirement document")
     check.add_argument("document", type=Path, help="requirement text file")
     check.add_argument("--ltl", action="store_true", help="print translated LTL")
@@ -31,30 +65,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--controllers", action="store_true", help="print synthesized machines"
     )
     check.add_argument(
-        "--abstraction",
-        choices=[method.value for method in AbstractionMethod],
-        default=AbstractionMethod.OPTIMAL.value,
-        help="time abstraction method (default: optimal)",
-    )
-    check.add_argument(
-        "--error-bound", type=int, default=5, help="budget B of Eq. (2)"
-    )
-    check.add_argument(
-        "--keep-next",
+        "--json",
         action="store_true",
-        help="translate the 'next' marker as an X operator (the paper drops it)",
+        help="emit the machine-readable report (same format as serve/batch)",
     )
+    _add_config_arguments(check)
+
+    serve = sub.add_parser(
+        "serve", help="run the JSON-lines service loop on stdin/stdout"
+    )
+    _add_config_arguments(serve)
+
+    batch = sub.add_parser(
+        "batch", help="check every *.txt document in a directory concurrently"
+    )
+    batch.add_argument("directory", type=Path, help="directory of *.txt documents")
+    batch.add_argument(
+        "--workers", type=int, default=4, help="pool size (default: 4)"
+    )
+    batch.add_argument(
+        "--backend",
+        choices=["thread", "process"],
+        default="thread",
+        help="worker pool backend (default: thread)",
+    )
+    batch.add_argument(
+        "--output", type=Path, default=None,
+        help="write the JSON-lines results here instead of stdout",
+    )
+    _add_config_arguments(batch)
     return parser
 
 
 def run_check(args: argparse.Namespace) -> int:
     text = args.document.read_text()
-    config = SpecCCConfig(
-        translation=TranslationOptions(next_as_x=args.keep_next),
-        abstraction=AbstractionMethod(args.abstraction),
-        error_bound=args.error_bound,
-    )
-    tool = SpecCC(config)
+    tool = SpecCC(_config_from(args))
 
     if args.tree:
         for sentence in split_sentences(text):
@@ -62,6 +107,12 @@ def run_check(args: argparse.Namespace) -> int:
             print()
 
     report = tool.check_document(text)
+    if args.json:
+        from .service.reportjson import report_to_dict
+
+        data = report_to_dict(report, cache=tool.cache_stats())
+        print(json.dumps(data, indent=2, sort_keys=True))
+        return 0 if report.consistent else 1
     if args.ltl:
         print("translated LTL:")
         for requirement in report.translation.requirements:
@@ -75,11 +126,49 @@ def run_check(args: argparse.Namespace) -> int:
     return 0 if report.consistent else 1
 
 
+def run_serve(args: argparse.Namespace) -> int:
+    from .service.server import serve
+
+    return serve(tool=SpecCC(_config_from(args)))
+
+
+def run_batch(args: argparse.Namespace) -> int:
+    from .service.batch import BatchChecker
+
+    paths = sorted(args.directory.glob("*.txt"))
+    if not paths:
+        print(f"no *.txt documents in {args.directory}", file=sys.stderr)
+        return 2
+    checker = BatchChecker(
+        config=_config_from(args), workers=args.workers, backend=args.backend
+    )
+    results = checker.check_documents(
+        [(path.name, path.read_text()) for path in paths]
+    )
+    lines = [
+        json.dumps({"name": result.name, "report": result.data}, sort_keys=True)
+        for result in results
+    ]
+    if args.output is not None:
+        args.output.write_text("\n".join(lines) + "\n")
+    else:
+        for line in lines:
+            print(line)
+    return 0 if all(result.consistent for result in results) else 1
+
+
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "check":
+        if args.json and (args.ltl or args.tree or args.controllers):
+            # --json owns stdout; the formulas are already in the report.
+            parser.error("--json cannot be combined with --ltl/--tree/--controllers")
         return run_check(args)
+    if args.command == "serve":
+        return run_serve(args)
+    if args.command == "batch":
+        return run_batch(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

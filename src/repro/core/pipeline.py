@@ -141,6 +141,31 @@ class SpecCC:
 
         clear_caches()
 
+    @staticmethod
+    def cache_stats() -> dict:
+        """Observability into the process-wide caches.
+
+        Returns component-outcome cache hits/misses (reset by
+        :meth:`clear_caches`), the formula→automaton cache size and the
+        live interned-node count, so sessions, benchmarks and tests can
+        assert reuse instead of guessing from timings.
+        """
+        from ..automata.gpvw import translation_cache_size
+        from ..logic.ast import interned_count
+        from ..synthesis.realizability import component_cache_info
+
+        info = component_cache_info()
+        return {
+            "component_cache": {
+                "size": info.size,
+                "capacity": info.capacity,
+                "hits": info.hits,
+                "misses": info.misses,
+            },
+            "automaton_cache": {"size": translation_cache_size()},
+            "interned_nodes": interned_count(),
+        }
+
     # ------------------------------------------------------------- pipeline
     def check(
         self, requirements: Sequence[Tuple[str, str]]
@@ -163,6 +188,7 @@ class SpecCC:
         self, translation: SpecificationTranslation
     ) -> ConsistencyReport:
         """Stages 2-3 on an already-translated specification."""
+        start = time.perf_counter()
         formulas = list(translation.formulas)
         partition = translation.partition
         result = self._realizability(formulas, partition)
@@ -204,6 +230,36 @@ class SpecCC:
             localization=localization,
             repaired_partition=repaired,
             repair_attempts=repairs,
+            seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------- component-level API
+    def check_formulas(
+        self, formulas: Sequence[Formula], partition: Partition
+    ) -> RealizabilityResult:
+        """Stage 2 only: realizability of *formulas* under *partition*.
+
+        No repair loop, no localization — the unit the service layer
+        composes.  Component outcomes are cached process-wide, so repeated
+        calls over overlapping formula sets are cheap.
+        """
+        return self._realizability(list(formulas), partition)
+
+    def check_component(self, component, partition: Partition):
+        """Check a single variable-connected component under *partition*.
+
+        Components (from :func:`repro.synthesis.modular.decompose`) are the
+        individually checkable, individually cacheable unit; sessions and
+        batch workers use this to re-analyse only what an edit dirtied.
+        """
+        from ..synthesis.realizability import check_component
+
+        return check_component(
+            component,
+            frozenset(partition.inputs),
+            frozenset(partition.outputs),
+            engine=self.config.engine,
+            limits=self.config.limits,
         )
 
     # ------------------------------------------------------------- internals

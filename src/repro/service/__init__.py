@@ -1,0 +1,36 @@
+"""The service layer: SpecCC as a long-lived process.
+
+The paper frames consistency checking as *maintenance* (Figure 1):
+engineers edit specifications continuously and re-check after every
+change.  The one-shot :class:`repro.SpecCC` façade redoes everything per
+call; this package holds the stateful subsystem that exploits the
+hash-consed core and the process-wide component/automaton caches:
+
+* :class:`SpecSession` — an editable document session whose ``check``
+  re-translates only edited sentences and re-analyses only the
+  variable-connected components an edit dirtied.
+* :class:`BatchChecker` — concurrent checking of many documents (and of
+  the independent components within each) with deterministic,
+  sequential-identical verdicts.
+* :func:`serve` — a JSON-lines request loop over stdio behind
+  ``python -m repro serve`` / ``python -m repro batch``.
+
+All three speak the one machine-readable report format in
+:mod:`repro.service.reportjson`, shared with ``python -m repro check
+--json``.
+"""
+
+from .batch import BatchChecker, BatchResult
+from .reportjson import report_to_dict
+from .session import SessionDelta, SessionReport, SpecSession
+from .server import serve
+
+__all__ = [
+    "BatchChecker",
+    "BatchResult",
+    "SessionDelta",
+    "SessionReport",
+    "SpecSession",
+    "report_to_dict",
+    "serve",
+]

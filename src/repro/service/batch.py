@@ -1,0 +1,170 @@
+"""Concurrent checking of many documents — and of their components.
+
+:class:`BatchChecker` fans a list of requirement documents out over a
+worker pool in three phases:
+
+1. **translate** every document (parallel; the interning pools and all
+   per-node memos are thread-safe),
+2. **warm** the component-outcome cache: every variable-connected
+   component of every document is checked as an independent unit, so the
+   pool's parallelism applies *within* a document too, not just across
+   documents,
+3. **aggregate**: each document runs through the ordinary pipeline code
+   path (:meth:`repro.SpecCC.check_translated`) — concurrently across
+   documents, but over warmed caches — and results are collected in
+   input order.
+
+Determinism does not come from serialising phase 3 (it is concurrent);
+it comes from the pipeline itself being a deterministic function of one
+document plus semantically transparent caches: a cache can only change
+*who computes* a component outcome first, never what the outcome is, and
+no phase mutates per-tool state.  The canonical JSON report
+(``timings=False``) is therefore byte-identical to a ``workers=1`` run;
+``tests/test_service.py`` asserts this byte-for-byte.
+
+Threads share the process-wide caches (maximum reuse across documents)
+but are GIL-bound; ``backend="process"`` trades cache sharing for real
+CPU parallelism — workers rebuild the tool per process (config, antonym
+dictionary and signs are shipped over) and return the canonical report
+dictionaries (interned formulas must not cross process boundaries).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..core.pipeline import ConsistencyReport, SpecCC, SpecCCConfig
+from ..synthesis.modular import decompose
+from ..translate.translator import SpecificationTranslation, Translator
+from .reportjson import report_to_dict
+
+#: A work item: a name plus either a plain-text document or explicit
+#: ``(identifier, sentence)`` requirement pairs.
+Document = Union[str, Sequence[Tuple[str, str]]]
+
+
+@dataclass
+class BatchResult:
+    """Outcome for one named document."""
+
+    name: str
+    data: dict  # canonical report (reportjson, timings excluded)
+    report: Optional[ConsistencyReport] = None  # absent for process workers
+
+    @property
+    def verdict(self) -> str:
+        return self.data["verdict"]
+
+    @property
+    def consistent(self) -> bool:
+        return self.data["consistent"]
+
+
+def _translate_document(
+    translator: Translator, document: Document
+) -> SpecificationTranslation:
+    """The single place the two document shapes are told apart."""
+    if isinstance(document, str):
+        return translator.translate_document(document)
+    return translator.translate(list(document))
+
+
+def _check_document(tool: SpecCC, document: Document) -> ConsistencyReport:
+    return tool.check_translated(_translate_document(tool.translator, document))
+
+
+def _process_worker(setup: tuple, item: Tuple[str, Document]) -> dict:
+    """Process-pool worker: one document, canonical dict out."""
+    config, dictionary, signs = setup
+    tool = SpecCC(config, dictionary=dictionary, signs=signs)
+    return report_to_dict(_check_document(tool, item[1]), timings=False)
+
+
+class BatchChecker:
+    """Check many documents concurrently with deterministic results."""
+
+    def __init__(
+        self,
+        config: SpecCCConfig = SpecCCConfig(),
+        workers: int = 4,
+        backend: str = "thread",
+        warm_components: bool = True,
+        tool: Optional[SpecCC] = None,
+    ) -> None:
+        """*tool* overrides *config*: pass it to check with a non-default
+        antonym dictionary or signs (the serve loop does, so its batch
+        requests judge documents exactly like its session checks)."""
+        if backend not in ("thread", "process"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.tool = tool if tool is not None else SpecCC(config)
+        self.config = self.tool.config
+        self.workers = workers
+        self.backend = backend
+        self.warm_components = warm_components
+
+    # ------------------------------------------------------------ running
+    def check_documents(
+        self, documents: Sequence[Tuple[str, Document]]
+    ) -> List[BatchResult]:
+        """Check ``(name, document)`` items; results come back in order."""
+        items = list(documents)
+        if not items:
+            return []
+        if self.backend == "process":
+            return self._run_processes(items)
+        if self.workers == 1:
+            results = []
+            for name, document in items:
+                report = _check_document(self.tool, document)
+                results.append(
+                    BatchResult(
+                        name, report_to_dict(report, timings=False), report=report
+                    )
+                )
+            return results
+        return self._run_threads(items)
+
+    # ----------------------------------------------------------- backends
+    def _run_threads(self, items: List[Tuple[str, Document]]) -> List[BatchResult]:
+        translator = self.tool.translator
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            translations = list(
+                pool.map(
+                    lambda item: _translate_document(translator, item[1]), items
+                )
+            )
+
+            if self.warm_components:
+                units = [
+                    (component, translation.partition)
+                    for translation in translations
+                    for component in decompose(list(translation.formulas))
+                ]
+                # Populate the outcome cache; results are discarded — the
+                # aggregation phase re-reads them through the normal path.
+                list(
+                    pool.map(
+                        lambda unit: self.tool.check_component(unit[0], unit[1]),
+                        units,
+                    )
+                )
+
+            reports = list(pool.map(self.tool.check_translated, translations))
+        return [
+            BatchResult(name, report_to_dict(report, timings=False), report=report)
+            for (name, _), report in zip(items, reports)
+        ]
+
+    def _run_processes(self, items: List[Tuple[str, Document]]) -> List[BatchResult]:
+        translator = self.tool.translator
+        setup = (self.config, translator.dictionary, translator.signs)
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            dicts = list(pool.map(partial(_process_worker, setup), items))
+        return [
+            BatchResult(name, data) for (name, _), data in zip(items, dicts)
+        ]

@@ -1,0 +1,85 @@
+"""The machine-readable consistency report.
+
+One JSON shape shared by ``python -m repro check --json``, the
+:func:`repro.service.server.serve` loop and :class:`~repro.service.batch.
+BatchChecker` output, so downstream tooling parses a single format.
+
+Determinism contract: with ``timings=False`` the dictionary is a pure
+function of the specification and configuration — no wall-clock times, no
+cache statistics — so byte-for-byte comparison across runs (and across
+sequential vs. parallel batch execution) is meaningful.  Keys are emitted
+in a fixed order; serialize with ``json.dumps(..., sort_keys=True)`` for
+canonical bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.pipeline import ConsistencyReport
+
+
+def partition_to_dict(partition) -> Dict[str, list]:
+    return {
+        "inputs": sorted(partition.inputs),
+        "outputs": sorted(partition.outputs),
+    }
+
+
+def report_to_dict(
+    report: ConsistencyReport,
+    *,
+    timings: bool = True,
+    cache: Optional[dict] = None,
+) -> dict:
+    """Serialize *report* to plain JSON-compatible data.
+
+    *timings* includes wall-clock seconds (overall and per component);
+    drop it when byte-identical output across runs matters.  *cache*
+    attaches a :meth:`repro.SpecCC.cache_stats` snapshot.
+    """
+    translation = report.translation
+    requirements = [
+        {
+            "identifier": requirement.identifier,
+            "text": requirement.text,
+            "formula": str(requirement.formula),
+        }
+        for requirement in translation.requirements
+    ]
+    identifiers = [requirement.identifier for requirement in translation.requirements]
+    components = []
+    for part in report.realizability.components:
+        entry = {
+            "identifiers": [identifiers[index] for index in part.component.indices],
+            "variables": sorted(part.component.variables),
+            "verdict": part.verdict.value,
+            "method": part.method,
+        }
+        if timings:
+            entry["seconds"] = part.seconds
+        components.append(entry)
+    data: dict = {
+        "verdict": report.verdict.value,
+        "consistent": report.consistent,
+        "requirements": requirements,
+        "partition": partition_to_dict(report.partition),
+        "components": components,
+        "culprits": report.inconsistent_requirements(),
+        "repair_attempts": report.repair_attempts,
+        "repaired_partition": (
+            partition_to_dict(report.repaired_partition)
+            if report.repaired_partition is not None
+            else None
+        ),
+        "abstraction": {
+            "method": translation.abstraction.method.value,
+            "thetas": list(translation.abstraction.thetas),
+            "scaled": list(translation.abstraction.solution.scaled),
+        },
+    }
+    if timings:
+        data["seconds"] = report.seconds
+    if cache is not None:
+        data["cache"] = cache
+    return data

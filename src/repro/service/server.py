@@ -1,0 +1,183 @@
+"""The long-lived service loop: JSON-lines requests over stdio.
+
+``python -m repro serve`` reads one JSON object per line from stdin and
+writes one JSON response per line to stdout, holding a single
+:class:`~repro.service.session.SpecSession` (plus the shared process
+caches) alive between requests — the daemon form of the paper's
+edit/re-check maintenance loop.
+
+Protocol (request ``op`` → response fields beyond ``{"ok": true, "op":
+...}``):
+
+* ``add`` / ``update`` — ``{"id": "R1", "text": "..."}``; ``remove`` —
+  ``{"id": "R1"}``.  Respond with ``{"size": n}``.
+* ``load`` — ``{"document": "..."}`` bulk-adds sentences; responds with
+  ``{"added": [...], "size": n}``.
+* ``check`` — responds with ``{"report": {...}, "delta": {...},
+  "revision": n}``; the report is the shared
+  :func:`~repro.service.reportjson.report_to_dict` format.
+* ``batch`` — ``{"documents": [{"name": ..., "text": ...}, ...],
+  "workers": 4}``; responds with ``{"results": [{"name": ...,
+  "report": {...}}, ...]}`` in input order.
+* ``stats`` — cache statistics; ``reset`` — fresh session;
+  ``shutdown`` — acknowledge and exit the loop.
+
+Malformed requests produce ``{"ok": false, "error": "..."}`` and the loop
+continues: a broken client line must not take the daemon down.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO, Optional
+
+from ..core.pipeline import SpecCC
+from .batch import BatchChecker
+from .reportjson import report_to_dict
+from .session import SessionReport, SpecSession
+
+
+def _delta_to_dict(report: SessionReport) -> dict:
+    delta = report.delta
+    return {
+        "edited": list(delta.edited),
+        "components": [
+            {
+                "identifiers": list(component.identifiers),
+                "verdict": component.verdict.value,
+                "reanalyzed": component.reanalyzed,
+                "previous_verdict": (
+                    component.previous_verdict.value
+                    if component.previous_verdict is not None
+                    else None
+                ),
+            }
+            for component in delta.components
+        ],
+        "reanalyzed": len(delta.reanalyzed),
+        "reused": len(delta.reused),
+        "cache_hits": delta.cache_hits,
+        "cache_misses": delta.cache_misses,
+    }
+
+
+class _Server:
+    """Dispatches one session's worth of requests."""
+
+    def __init__(self, tool: Optional[SpecCC] = None) -> None:
+        self.tool = tool if tool is not None else SpecCC()
+        self.session = SpecSession(self.tool)
+        self.running = True
+
+    def handle(self, request: dict) -> dict:
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None)
+        if op is None or handler is None:
+            raise ValueError(f"unknown op {op!r}")
+        return handler(request)
+
+    @staticmethod
+    def _require(request: dict, key: str):
+        if key not in request:
+            raise ValueError(f"missing field {key!r}")
+        return request[key]
+
+    def _op_add(self, request: dict) -> dict:
+        self.session.add(
+            str(self._require(request, "id")), str(self._require(request, "text"))
+        )
+        return {"size": len(self.session)}
+
+    def _op_update(self, request: dict) -> dict:
+        self.session.update(
+            str(self._require(request, "id")), str(self._require(request, "text"))
+        )
+        return {"size": len(self.session)}
+
+    def _op_remove(self, request: dict) -> dict:
+        self.session.remove(str(self._require(request, "id")))
+        return {"size": len(self.session)}
+
+    def _op_load(self, request: dict) -> dict:
+        added = self.session.load_document(str(self._require(request, "document")))
+        return {"added": list(added), "size": len(self.session)}
+
+    def _op_check(self, request: dict) -> dict:
+        timings = bool(request.get("timings", True))
+        session_report = self.session.check()
+        return {
+            "report": report_to_dict(session_report.report, timings=timings),
+            "delta": _delta_to_dict(session_report),
+            "revision": session_report.revision,
+            "seconds": session_report.seconds if timings else None,
+        }
+
+    def _op_batch(self, request: dict) -> dict:
+        documents = self._require(request, "documents")
+        items = []
+        for entry in documents:
+            name = str(entry.get("name", f"doc{len(items) + 1}"))
+            if "text" in entry:
+                items.append((name, str(entry["text"])))
+            elif "requirements" in entry:
+                items.append(
+                    (
+                        name,
+                        [(str(i), str(t)) for i, t in entry["requirements"]],
+                    )
+                )
+            else:
+                raise ValueError(f"document {name!r} has neither text nor requirements")
+        # Share the session's tool so batch requests judge documents with
+        # the same dictionary/signs as session checks.
+        checker = BatchChecker(
+            tool=self.tool,
+            workers=int(request.get("workers", 4)),
+            backend=str(request.get("backend", "thread")),
+        )
+        results = checker.check_documents(items)
+        return {
+            "results": [
+                {"name": result.name, "report": result.data} for result in results
+            ]
+        }
+
+    def _op_stats(self, request: dict) -> dict:
+        return {"cache": self.tool.cache_stats(), "size": len(self.session)}
+
+    def _op_reset(self, request: dict) -> dict:
+        self.session = SpecSession(self.tool)
+        return {"size": 0}
+
+    def _op_shutdown(self, request: dict) -> dict:
+        self.running = False
+        return {}
+
+
+def serve(
+    stdin: Optional[IO[str]] = None,
+    stdout: Optional[IO[str]] = None,
+    tool: Optional[SpecCC] = None,
+) -> int:
+    """Run the JSON-lines loop until EOF or a ``shutdown`` request."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    server = _Server(tool)
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            response = {"ok": True, "op": request.get("op")}
+            response.update(server.handle(request))
+        except Exception as error:  # noqa: BLE001 - the daemon must survive
+            response = {"ok": False, "error": str(error)}
+        stdout.write(json.dumps(response, sort_keys=True) + "\n")
+        stdout.flush()
+        if not server.running:
+            break
+    return 0

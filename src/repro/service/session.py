@@ -1,0 +1,240 @@
+"""Incremental specification sessions.
+
+A :class:`SpecSession` is the maintenance loop of Figure 1 made stateful:
+requirements are added, updated and removed by identifier, and every
+:meth:`SpecSession.check` re-translates only the sentences an edit
+touched and re-analyses only the variable-connected components those
+sentences dirtied.  Everything else is served from the process-wide
+caches the PR-1 core put underneath:
+
+* sentence parses, raw formulas and theta rewrites come from the
+  session's :class:`~repro.translate.translator.TranslationCache`;
+* component verdicts come from the realizability layer's outcome LRU,
+  which is keyed by (interned formulas, local I/O split) and therefore
+  hit by every component the edit left untouched — including across the
+  repair and localization loops.
+
+The session never *computes* differently from the one-shot pipeline: each
+check runs the ordinary :meth:`repro.SpecCC.check_translated`, so verdicts
+are identical to a fresh run by construction; the caches only make the
+unchanged parts cheap.  The :class:`SessionReport` wraps the ordinary
+:class:`~repro.core.pipeline.ConsistencyReport` with the delta — which
+identifiers were edited, which components were re-analysed vs. reused,
+and which component verdicts changed since the previous check.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.pipeline import ConsistencyReport, SpecCC
+from ..nlp.tokenizer import split_sentences
+from ..synthesis.realizability import Verdict
+
+
+@dataclass(frozen=True)
+class ComponentDelta:
+    """One component's status relative to the previous check."""
+
+    identifiers: Tuple[str, ...]
+    verdict: Verdict
+    reanalyzed: bool  # not present (same formulas + local split) last check
+    previous_verdict: Optional[Verdict] = None  # None: component is new
+
+
+@dataclass
+class SessionDelta:
+    """What one :meth:`SpecSession.check` actually had to do.
+
+    ``cache_hits``/``cache_misses`` are deltas of the process-wide
+    component-cache counters across this check; they are exact while the
+    session is the only checker running (the serve daemon, tests,
+    benchmarks).  Concurrent checking elsewhere in the process bleeds
+    into the window — sessions are single-threaded by design.
+    """
+
+    edited: Tuple[str, ...]  # identifiers touched since the previous check
+    components: Tuple[ComponentDelta, ...] = ()
+    cache_hits: int = 0  # component-outcome cache hits during this check
+    cache_misses: int = 0  # ... and misses (= component analyses run)
+
+    @property
+    def reanalyzed(self) -> Tuple[ComponentDelta, ...]:
+        return tuple(c for c in self.components if c.reanalyzed)
+
+    @property
+    def reused(self) -> Tuple[ComponentDelta, ...]:
+        return tuple(c for c in self.components if not c.reanalyzed)
+
+    def changed_verdicts(self) -> Tuple[ComponentDelta, ...]:
+        return tuple(
+            c
+            for c in self.components
+            if c.previous_verdict is not None and c.previous_verdict is not c.verdict
+        )
+
+
+@dataclass
+class SessionReport:
+    """A delta-aware consistency report: one check of a live session."""
+
+    report: ConsistencyReport
+    delta: SessionDelta
+    revision: int  # monotonically increasing per completed check
+    seconds: float = 0.0
+
+    @property
+    def verdict(self) -> Verdict:
+        return self.report.verdict
+
+    @property
+    def consistent(self) -> bool:
+        return self.report.consistent
+
+    def summary(self) -> str:
+        lines = [self.report.summary()]
+        lines.append(
+            f"delta: {len(self.delta.edited)} edit(s), "
+            f"{len(self.delta.reanalyzed)}/{len(self.delta.components)} "
+            f"component(s) re-analyzed"
+        )
+        for component in self.delta.changed_verdicts():
+            was = component.previous_verdict.value if component.previous_verdict else "?"
+            lines.append(
+                f"  [{', '.join(component.identifiers)}] "
+                f"{was} -> {component.verdict.value}"
+            )
+        return "\n".join(lines)
+
+
+class SpecSession:
+    """A stateful, incrementally re-checked requirement document."""
+
+    def __init__(self, tool: Optional[SpecCC] = None) -> None:
+        self.tool = tool if tool is not None else SpecCC()
+        self._cache = self.tool.translator.new_cache()
+        self._order: List[str] = []
+        self._sentences: Dict[str, str] = {}
+        self._edited: Set[str] = set()
+        self._revision = 0
+        self._last: Optional[SessionReport] = None
+        # Component fingerprint -> verdict, as of the previous check.  The
+        # fingerprint is (formulas, local inputs, local outputs): exactly
+        # what the realizability layer's outcome cache is keyed by, so
+        # "seen before" here predicts a cache hit there.
+        self._seen: Dict[tuple, Verdict] = {}
+        # Identifier-tuple -> verdict: fingerprints change with every edit,
+        # so verdict *transitions* are matched by requirement membership.
+        self._verdicts: Dict[Tuple[str, ...], Verdict] = {}
+
+    # ----------------------------------------------------------- editing
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, identifier: str) -> bool:
+        return identifier in self._sentences
+
+    def identifiers(self) -> Tuple[str, ...]:
+        return tuple(self._order)
+
+    def requirements(self) -> List[Tuple[str, str]]:
+        """The current document as ``(identifier, sentence)`` pairs."""
+        return [(identifier, self._sentences[identifier]) for identifier in self._order]
+
+    def add(self, identifier: str, sentence: str) -> None:
+        if identifier in self._sentences:
+            raise ValueError(f"requirement {identifier!r} already exists")
+        self._order.append(identifier)
+        self._sentences[identifier] = sentence
+        self._edited.add(identifier)
+
+    def update(self, identifier: str, sentence: str) -> None:
+        if identifier not in self._sentences:
+            raise KeyError(f"no requirement {identifier!r}")
+        if self._sentences[identifier] == sentence:
+            return  # no-op edits dirty nothing
+        self._sentences[identifier] = sentence
+        self._edited.add(identifier)
+
+    def remove(self, identifier: str) -> None:
+        if identifier not in self._sentences:
+            raise KeyError(f"no requirement {identifier!r}")
+        self._order.remove(identifier)
+        del self._sentences[identifier]
+        self._edited.add(identifier)
+
+    def load_document(self, document: str) -> Tuple[str, ...]:
+        """Bulk-add a plain-text document; requirements continue R1..Rn."""
+        added = []
+        number = len(self._order) + 1
+        for sentence in split_sentences(document):
+            while f"R{number}" in self._sentences:
+                number += 1
+            identifier = f"R{number}"
+            self.add(identifier, sentence)
+            added.append(identifier)
+            number += 1
+        return tuple(added)
+
+    # ---------------------------------------------------------- checking
+    @property
+    def revision(self) -> int:
+        return self._revision
+
+    @property
+    def last_report(self) -> Optional[SessionReport]:
+        return self._last
+
+    def check(self) -> SessionReport:
+        """Re-check the document, reusing everything an edit did not dirty."""
+        start = time.perf_counter()
+        edited = tuple(sorted(self._edited))
+        stats_before = self.tool.cache_stats()["component_cache"]
+        translation = self.tool.translator.translate(self.requirements(), self._cache)
+        report = self.tool.check_translated(translation)
+        stats_after = self.tool.cache_stats()["component_cache"]
+
+        identifiers = [req.identifier for req in translation.requirements]
+        input_set = frozenset(report.partition.inputs)
+        output_set = frozenset(report.partition.outputs)
+        seen: Dict[tuple, Verdict] = {}
+        verdicts: Dict[Tuple[str, ...], Verdict] = {}
+        components = []
+        for part in report.realizability.components:
+            fingerprint = (
+                part.component.formulas,
+                tuple(sorted(part.component.variables & input_set)),
+                tuple(sorted(part.component.variables & output_set)),
+            )
+            ids = tuple(identifiers[index] for index in part.component.indices)
+            components.append(
+                ComponentDelta(
+                    identifiers=ids,
+                    verdict=part.verdict,
+                    reanalyzed=fingerprint not in self._seen,
+                    previous_verdict=self._verdicts.get(ids),
+                )
+            )
+            seen[fingerprint] = part.verdict
+            verdicts[ids] = part.verdict
+
+        delta = SessionDelta(
+            edited=edited,
+            components=tuple(components),
+            cache_hits=stats_after["hits"] - stats_before["hits"],
+            cache_misses=stats_after["misses"] - stats_before["misses"],
+        )
+        self._seen = seen
+        self._verdicts = verdicts
+        self._edited.clear()
+        self._revision += 1
+        session_report = SessionReport(
+            report=report,
+            delta=delta,
+            revision=self._revision,
+            seconds=time.perf_counter() - start,
+        )
+        self._last = session_report
+        return session_report

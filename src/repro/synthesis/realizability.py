@@ -127,6 +127,23 @@ _COMPONENT_CACHE_LIMIT = 2048
 # Guards lookup/insert/evict as a unit (the lru_caches this cache replaced
 # were thread-safe; an unsynchronized move_to_end can race an eviction).
 _component_lock = threading.Lock()
+_component_hits = 0
+_component_misses = 0
+
+
+class CacheInfo(NamedTuple):
+    """Component-outcome cache statistics.
+
+    The first two fields keep the historical ``(size, capacity)`` tuple
+    shape; ``hits``/``misses`` count lookups since the last
+    :func:`clear_caches` and let callers (sessions, benchmarks, tests)
+    assert reuse instead of guessing from timings.
+    """
+
+    size: int
+    capacity: int
+    hits: int
+    misses: int
 
 
 def clear_caches() -> None:
@@ -136,14 +153,23 @@ def clear_caches() -> None:
     it — all caches are keyed by interned formulas and semantically
     transparent.
     """
+    global _component_hits, _component_misses
     with _component_lock:
         _component_cache.clear()
+        _component_hits = 0
+        _component_misses = 0
     gpvw.clear_translation_cache()
 
 
-def component_cache_info() -> Tuple[int, int]:
-    """(current size, capacity) of the component-outcome cache."""
-    return len(_component_cache), _COMPONENT_CACHE_LIMIT
+def component_cache_info() -> CacheInfo:
+    """Size/capacity/hit/miss statistics of the component-outcome cache."""
+    with _component_lock:
+        return CacheInfo(
+            len(_component_cache),
+            _COMPONENT_CACHE_LIMIT,
+            _component_hits,
+            _component_misses,
+        )
 
 
 def check_realizability(
@@ -171,19 +197,26 @@ def check_realizability(
         ]
     input_set = frozenset(inputs)
     output_set = frozenset(outputs)
-    results = []
-    verdicts = []
-    for component in components:
-        result = _check_component(component, input_set, output_set, engine, limits)
-        results.append(result)
-        verdicts.append(result.verdict)
-    if all(v is Verdict.REALIZABLE for v in verdicts):
-        overall = Verdict.REALIZABLE
-    elif any(v is Verdict.UNREALIZABLE for v in verdicts):
-        overall = Verdict.UNREALIZABLE
-    else:
-        overall = Verdict.UNKNOWN
+    results = [
+        check_component(component, input_set, output_set, engine, limits)
+        for component in components
+    ]
+    overall = aggregate_verdict(result.verdict for result in results)
     return RealizabilityResult(overall, results, time.perf_counter() - start)
+
+
+def aggregate_verdict(verdicts) -> Verdict:
+    """Combine per-component verdicts into the specification verdict.
+
+    Realizable iff every component is; a single unrealizable component
+    refutes the conjunction; otherwise the engines could not decide.
+    """
+    verdicts = list(verdicts)
+    if all(v is Verdict.REALIZABLE for v in verdicts):
+        return Verdict.REALIZABLE
+    if any(v is Verdict.UNREALIZABLE for v in verdicts):
+        return Verdict.UNREALIZABLE
+    return Verdict.UNKNOWN
 
 
 def _atoms(formula: Formula):
@@ -192,13 +225,23 @@ def _atoms(formula: Formula):
     return atoms(formula)
 
 
-def _check_component(
+def check_component(
     component: Component,
     input_set: frozenset,
     output_set: frozenset,
-    engine: Engine,
-    limits: SynthesisLimits,
+    engine: Engine = Engine.SAFETY_GAME,
+    limits: SynthesisLimits = SynthesisLimits(),
 ) -> ComponentResult:
+    """Check one variable-connected component against a global partition.
+
+    Components are the individually checkable unit of the whole stack: the
+    analysis depends only on the component's formulas and its *local* I/O
+    split, so outcomes are served from the process-wide LRU whenever the
+    same component reappears — across repair iterations, localization
+    subsets, session edits, and concurrent batch workers alike.  Safe to
+    call from multiple threads.
+    """
+    global _component_hits, _component_misses
     start = time.perf_counter()
     local_inputs = tuple(sorted(component.variables & input_set))
     local_outputs = tuple(sorted(component.variables & output_set))
@@ -207,6 +250,9 @@ def _check_component(
         outcome = _component_cache.get(key)
         if outcome is not None:
             _component_cache.move_to_end(key)
+            _component_hits += 1
+        else:
+            _component_misses += 1
     if outcome is None:
         outcome = _analyze_component(
             component.formulas, local_inputs, local_outputs, engine, limits

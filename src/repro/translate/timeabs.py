@@ -90,6 +90,31 @@ class AbstractionResult:
         return dict(zip(self.thetas, self.solution.scaled))
 
 
+def solve_abstraction(
+    thetas: Tuple[int, ...],
+    method: AbstractionMethod = AbstractionMethod.OPTIMAL,
+    error_bound: int = 5,
+    signs: Optional[Sequence[Sign]] = None,
+) -> TimeAbstractionSolution:
+    """Solve the abstraction problem for a set of chain lengths.
+
+    Split out of :func:`abstract_time` so incremental callers (the
+    translator's :class:`~repro.translate.translator.TranslationCache`)
+    can cache solutions per theta-set: an edit that does not introduce a
+    new chain length reuses the solved mapping outright.
+    """
+    if method is AbstractionMethod.NONE or not thetas:
+        return TimeAbstractionSolution(
+            1, thetas, (0,) * len(thetas), sum(thetas), 0
+        )
+    if method is AbstractionMethod.GCD:
+        return gcd_reduction(thetas)
+    problem = TimeAbstractionProblem.of(thetas, error_bound, signs)
+    if method is AbstractionMethod.BITBLAST:
+        return solve_bitblast(problem)
+    return solve_reference(problem)
+
+
 def abstract_time(
     formulas: Sequence[Formula],
     method: AbstractionMethod = AbstractionMethod.OPTIMAL,
@@ -103,19 +128,9 @@ def abstract_time(
     example of Section IV-E).
     """
     thetas = chain_lengths(formulas)
+    solution = solve_abstraction(thetas, method, error_bound, signs)
     if method is AbstractionMethod.NONE or not thetas:
-        identity = TimeAbstractionSolution(
-            1, thetas, (0,) * len(thetas), sum(thetas), 0
-        )
-        return AbstractionResult(tuple(formulas), identity, method, thetas)
-    if method is AbstractionMethod.GCD:
-        solution = gcd_reduction(thetas)
-    else:
-        problem = TimeAbstractionProblem.of(thetas, error_bound, signs)
-        if method is AbstractionMethod.BITBLAST:
-            solution = solve_bitblast(problem)
-        else:
-            solution = solve_reference(problem)
+        return AbstractionResult(tuple(formulas), solution, method, thetas)
     mapping = dict(zip(thetas, solution.scaled))
     rewritten = tuple(rewrite_chains(formula, mapping) for formula in formulas)
     return AbstractionResult(rewritten, solution, method, thetas)

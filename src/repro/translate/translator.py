@@ -21,7 +21,13 @@ from ..smt.timeopt import Sign
 from .partition import Partition, partition_formulas
 from .semantics import SemanticAnalysis, analyse, no_reasoning
 from .templates import TranslationOptions, sentence_formula
-from .timeabs import AbstractionMethod, AbstractionResult, abstract_time
+from .timeabs import (
+    AbstractionMethod,
+    AbstractionResult,
+    chain_lengths,
+    rewrite_chains,
+    solve_abstraction,
+)
 
 
 @dataclass(frozen=True)
@@ -72,6 +78,77 @@ class SpecificationTranslation:
         return "\n".join(lines)
 
 
+class TranslationCache:
+    """Per-sentence memos enabling incremental re-translation.
+
+    Translation is *mostly* per-sentence work (parsing, template
+    instantiation) glued together by two global passes: semantic reasoning
+    (Algorithm 1 runs over all sentences) and time abstraction (one solve
+    over the specification's chain lengths).  The cache therefore keys
+    every per-sentence artefact by the sentence text *plus* the global
+    context it depends on — the semantic-analysis signature for raw
+    formulas, the solved theta mapping for rewrites — so reuse is exact:
+    ``translate(requirements, cache)`` returns the same translation as a
+    fresh ``translate(requirements)``, only skipping work for sentences
+    whose text and global context are unchanged.
+
+    A cache is tied to the :class:`Translator` that created it (options,
+    dictionary and abstraction settings are deliberately not part of the
+    keys); obtain one from :meth:`Translator.new_cache`.  Single-document
+    sessions keep one alive across edits; sharing one across threads is
+    not supported.
+
+    Memory: a long edit stream would otherwise accumulate every sentence
+    ever seen (under every stale analysis signature and theta mapping),
+    each entry pinning interned formula nodes alive.  Each memo is
+    therefore bounded: when it outgrows *max_entries*, it is pruned back
+    to the keys the current translation actually used — exactly the hot
+    set the next edit's re-check needs.
+    """
+
+    def __init__(self, max_entries: int = 2048) -> None:
+        self.max_entries = max_entries
+        self.parses: Dict[str, Sentence] = {}
+        self.raw_formulas: Dict[tuple, Formula] = {}
+        self.solutions: Dict[tuple, object] = {}
+        self.rewritten: Dict[tuple, Formula] = {}
+
+    def prune(self, used: Dict[str, set]) -> None:
+        """Drop entries a completed translation did not touch, per memo,
+        but only once a memo exceeds its bound (cheap steady state)."""
+        for name, keys in used.items():
+            memo = getattr(self, name)
+            if len(memo) > self.max_entries:
+                setattr(self, name, {key: memo[key] for key in keys if key in memo})
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "parses": len(self.parses),
+            "raw_formulas": len(self.raw_formulas),
+            "solutions": len(self.solutions),
+            "rewritten": len(self.rewritten),
+        }
+
+    def parse(self, text: str) -> Sentence:
+        sentence = self.parses.get(text)
+        if sentence is None:
+            sentence = self.parses[text] = parse_sentence(text)
+        return sentence
+
+
+def _analysis_signature(analysis: SemanticAnalysis) -> tuple:
+    """Everything :meth:`SemanticAnalysis.reduce` can read, hashably.
+
+    Two analyses with equal signatures reduce every proposition
+    identically, so raw formulas cached under one are valid under the
+    other.  (The dictionary is per-translator and the cache is
+    per-translator, so it does not participate.)
+    """
+    if not analysis.enabled:
+        return (False,)
+    return (True, tuple(analysis.antonym_pairs()))
+
+
 class Translator:
     """Stage 1 of SpecCC (Figure 1): natural language to LTL."""
 
@@ -89,30 +166,53 @@ class Translator:
         self.error_bound = error_bound
         self.signs = signs
 
+    def new_cache(self) -> TranslationCache:
+        """A fresh :class:`TranslationCache` for incremental workloads."""
+        return TranslationCache()
+
     def translate(
         self,
         requirements: Sequence[Tuple[str, str]],
+        cache: Optional[TranslationCache] = None,
     ) -> SpecificationTranslation:
-        """Translate ``(identifier, sentence)`` pairs into a specification."""
-        sentences = [
-            (identifier, text, parse_sentence(text))
-            for identifier, text in requirements
-        ]
+        """Translate ``(identifier, sentence)`` pairs into a specification.
+
+        With a *cache* (see :meth:`new_cache`), only sentences whose text
+        — or whose global context: antonym pairs, chain-length set —
+        changed since the previous call are re-translated; the result is
+        identical to a cache-less run.
+        """
+        if cache is None:
+            cache = TranslationCache()
+        used: Dict[str, set] = {
+            "parses": set(),
+            "raw_formulas": set(),
+            "solutions": set(),
+            "rewritten": set(),
+        }
+        sentences = []
+        for identifier, text in requirements:
+            used["parses"].add(text)
+            sentences.append((identifier, text, cache.parse(text)))
         if self.options.semantic_reasoning:
             analysis = analyse([s for _, _, s in sentences], self.dictionary)
         else:
             analysis = no_reasoning()
+        signature = _analysis_signature(analysis)
 
-        raw_formulas = [
-            sentence_formula(sentence, analysis, self.options)
-            for _, _, sentence in sentences
-        ]
-        abstraction = abstract_time(
-            raw_formulas,
-            method=self.abstraction,
-            error_bound=self.error_bound,
-            signs=self.signs,
-        )
+        raw_formulas: List[Formula] = []
+        for _, text, sentence in sentences:
+            key = (text, signature)
+            used["raw_formulas"].add(key)
+            raw = cache.raw_formulas.get(key)
+            if raw is None:
+                raw = cache.raw_formulas[key] = sentence_formula(
+                    sentence, analysis, self.options
+                )
+            raw_formulas.append(raw)
+
+        abstraction = self._abstract(raw_formulas, cache, used)
+        cache.prune(used)
         translated = [
             RequirementTranslation(
                 identifier, text, sentence, raw, simplify(abstracted)
@@ -124,14 +224,51 @@ class Translator:
         partition = partition_formulas([req.formula for req in translated])
         return SpecificationTranslation(translated, analysis, abstraction, partition)
 
-    def translate_document(self, document: str) -> SpecificationTranslation:
+    def _abstract(
+        self,
+        raw_formulas: Sequence[Formula],
+        cache: TranslationCache,
+        used: Dict[str, set],
+    ) -> AbstractionResult:
+        """Time abstraction with the solve and per-formula rewrites memoised."""
+        thetas = chain_lengths(raw_formulas)
+        signs = tuple(self.signs) if self.signs is not None else None
+        key = (thetas, self.abstraction, self.error_bound, signs)
+        used["solutions"].add(key)
+        solution = cache.solutions.get(key)
+        if solution is None:
+            solution = cache.solutions[key] = solve_abstraction(
+                thetas, self.abstraction, self.error_bound, self.signs
+            )
+        if self.abstraction is AbstractionMethod.NONE or not thetas:
+            return AbstractionResult(
+                tuple(raw_formulas), solution, self.abstraction, thetas
+            )
+        mapping = dict(zip(thetas, solution.scaled))
+        rewritten = []
+        for raw in raw_formulas:
+            formula_key = (raw, key)
+            used["rewritten"].add(formula_key)
+            formula = cache.rewritten.get(formula_key)
+            if formula is None:
+                formula = cache.rewritten[formula_key] = rewrite_chains(
+                    raw, mapping
+                )
+            rewritten.append(formula)
+        return AbstractionResult(
+            tuple(rewritten), solution, self.abstraction, thetas
+        )
+
+    def translate_document(
+        self, document: str, cache: Optional[TranslationCache] = None
+    ) -> SpecificationTranslation:
         """Translate a plain-text requirement document (one sentence per
         line; ``#`` comments allowed).  Requirements are numbered R1..Rn."""
         pairs = [
             (f"R{number}", sentence)
             for number, sentence in enumerate(split_sentences(document), start=1)
         ]
-        return self.translate(pairs)
+        return self.translate(pairs, cache)
 
 
 def translate_requirements(

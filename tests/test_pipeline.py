@@ -96,6 +96,122 @@ class TestPipelineBasics:
         )
         assert not report.consistent
 
+    def test_check_translated_stamps_seconds(self):
+        translator = Translator()
+        translation = translator.translate(
+            [("R1", "If the sensor is active, the valve is opened.")]
+        )
+        report = SpecCC().check_translated(translation)
+        assert report.seconds > 0.0
+
+    def test_check_formulas_is_stage_two_only(self):
+        # The same clash the repair loop fixes end-to-end: stage 2 alone
+        # must report it unrealizable under the unrepaired partition.
+        translation = Translator().translate(
+            [
+                ("R1", "If the session is active, the page is displayed."),
+                ("R2", "If the notice is posted, the page is not displayed."),
+            ]
+        )
+        tool = SpecCC()
+        result = tool.check_formulas(translation.formulas, translation.partition)
+        assert result.verdict is Verdict.UNREALIZABLE
+        repaired = tool.check_translated(translation)
+        assert repaired.consistent
+        assert tool.check_formulas(
+            translation.formulas, repaired.partition
+        ).verdict is Verdict.REALIZABLE
+
+
+class TestPartitionRepair:
+    """The Section V-B repair heuristic, including the fallback branch."""
+
+    def _failing_result(self, formulas, variables):
+        from repro.synthesis.modular import Component
+        from repro.synthesis.realizability import (
+            ComponentResult,
+            RealizabilityResult,
+        )
+
+        component = Component(
+            tuple(range(len(formulas))), tuple(formulas), frozenset(variables)
+        )
+        part = ComponentResult(component, Verdict.UNREALIZABLE)
+        return RealizabilityResult(Verdict.UNREALIZABLE, [part])
+
+    def test_fallback_moves_an_input_of_the_failing_component(self):
+        """No response-side candidate: both formulas put only `b` on the
+        response side and `b` is already an output — the fallback must
+        reach for *any* input of the failing component instead."""
+        from repro.translate.partition import Partition
+
+        formulas = [parse("G (a -> b)"), parse("G (a -> !b)")]
+        partition = Partition(frozenset({"a"}), frozenset({"b"}))
+        result = self._failing_result(formulas, {"a", "b"})
+        repaired = SpecCC()._repair_partition(formulas, partition, result)
+        assert repaired is not None
+        assert "a" in repaired.outputs
+        assert repaired.inputs == frozenset()
+
+    def test_no_candidate_returns_none(self):
+        from repro.translate.partition import Partition
+
+        formulas = [parse("G b"), parse("G !b")]
+        partition = Partition(frozenset(), frozenset({"b"}))
+        result = self._failing_result(formulas, {"b"})
+        assert SpecCC()._repair_partition(formulas, partition, result) is None
+
+    def test_response_side_candidate_preferred_over_fallback(self):
+        from repro.translate.partition import Partition
+
+        # `b` sits on the response side but is (wrongly) an input: the
+        # first loop must pick it, never falling through to `a`.
+        formulas = [parse("G (a -> b)")]
+        partition = Partition(frozenset({"a", "b"}), frozenset())
+        result = self._failing_result(formulas, {"a", "b"})
+        repaired = SpecCC()._repair_partition(formulas, partition, result)
+        assert repaired is not None
+        assert repaired.outputs == frozenset({"b"})
+        assert "a" in repaired.inputs
+
+    def test_failed_repairs_keep_bookkeeping_honest(self):
+        """Attempts are counted even when no repair succeeds, and
+        ``repaired_partition`` stays None unless a repair *fixed* it."""
+        report = SpecCC().check(
+            [
+                ("R1", "The valve is opened."),
+                ("R2", "The valve is not opened."),
+            ]
+        )
+        assert not report.consistent
+        # The promoted input (open_valve) is moved back to the outputs by
+        # the repair loop, which cannot help an unsatisfiable pair.
+        assert report.repair_attempts == 1
+        assert report.repaired_partition is None
+
+    def test_attempts_never_exceed_the_configured_cap(self):
+        config = SpecCCConfig(max_partition_repairs=2, localize_on_failure=False)
+        report = SpecCC(config).check(
+            [
+                ("R1", "The valve is opened."),
+                ("R2", "The valve is not opened."),
+            ]
+        )
+        assert report.repair_attempts <= 2
+        assert report.repaired_partition is None
+
+    def test_successful_repair_records_the_partition(self):
+        report = SpecCC().check(
+            [
+                ("R1", "If the session is active, the page is displayed."),
+                ("R2", "If the notice is posted, the page is not displayed."),
+            ]
+        )
+        assert report.consistent
+        assert report.repair_attempts >= 1
+        assert report.repaired_partition is not None
+        assert report.partition == report.repaired_partition
+
 
 class TestCaraGold:
     """Translation fidelity against the appendix's hand-listed LTL."""

@@ -1,0 +1,407 @@
+"""Tests of the service subsystem: incremental sessions, parallel batch
+checking with sequential-identical verdicts, the JSON-lines serve loop and
+the machine-readable CLI output."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import (
+    BatchChecker,
+    SpecCC,
+    SpecCCConfig,
+    SpecSession,
+    Verdict,
+)
+from repro.__main__ import main as cli_main
+from repro.service.reportjson import report_to_dict
+from repro.service.server import serve
+
+
+TWO_COMPONENTS = [
+    ("R1", "If the sensor is active, the valve is opened."),
+    ("R2", "If the button is pressed, the lamp is activated."),
+]
+
+
+def make_session(**config) -> SpecSession:
+    return SpecSession(SpecCC(SpecCCConfig(**config)))
+
+
+class TestSpecSession:
+    def test_first_check_analyzes_every_component(self):
+        session = SpecSession()
+        for identifier, sentence in TWO_COMPONENTS:
+            session.add(identifier, sentence)
+        report = session.check()
+        assert report.consistent
+        assert report.revision == 1
+        assert len(report.delta.components) == 2
+        assert len(report.delta.reanalyzed) == 2
+        assert report.delta.reused == ()
+
+    def test_single_edit_reanalyzes_only_touched_component(self):
+        """The acceptance criterion: an edit re-analyzes only the components
+        containing the edited requirement's variables, asserted through the
+        component-cache hit/miss counters of ``cache_stats()``."""
+        SpecCC.clear_caches()  # exact miss counts need a cold outcome cache
+        session = SpecSession()
+        for identifier, sentence in TWO_COMPONENTS:
+            session.add(identifier, sentence)
+        session.check()
+
+        session.update("R2", "If the button is pressed, the lamp is not activated.")
+        report = session.check()
+
+        assert report.delta.edited == ("R2",)
+        assert [c.identifiers for c in report.delta.reanalyzed] == [("R2",)]
+        assert [c.identifiers for c in report.delta.reused] == [("R1",)]
+        # The hard evidence: exactly one component analysis ran; the
+        # untouched component came straight from the outcome cache.
+        assert report.delta.cache_misses == 1
+        assert report.delta.cache_hits >= 1
+
+    def test_unedited_recheck_hits_cache_everywhere(self):
+        session = SpecSession()
+        for identifier, sentence in TWO_COMPONENTS:
+            session.add(identifier, sentence)
+        session.check()
+        session.update("R1", TWO_COMPONENTS[0][1])  # same text: a no-op
+        report = session.check()
+        assert report.delta.edited == ()
+        assert report.delta.cache_misses == 0
+        assert len(report.delta.reused) == 2
+
+    def test_add_and_remove_requirements(self):
+        session = SpecSession()
+        session.add("R1", "If the sensor is active, the valve is opened.")
+        session.check()
+        session.add("R2", "If the button is pressed, the lamp is activated.")
+        report = session.check()
+        assert len(report.delta.components) == 2
+        assert [c.identifiers for c in report.delta.reanalyzed] == [("R2",)]
+
+        session.remove("R2")
+        report = session.check()
+        assert len(report.delta.components) == 1
+        assert report.delta.cache_misses == 0  # R1's outcome is still cached
+
+        assert "R2" not in session
+        assert session.identifiers() == ("R1",)
+
+    def test_edit_errors(self):
+        session = SpecSession()
+        session.add("R1", "The valve is opened.")
+        with pytest.raises(ValueError):
+            session.add("R1", "The valve is opened.")
+        with pytest.raises(KeyError):
+            session.update("R9", "The valve is opened.")
+        with pytest.raises(KeyError):
+            session.remove("R9")
+
+    def test_verdict_transition_is_reported(self):
+        session = make_session(max_partition_repairs=0, localize_on_failure=False)
+        session.add("R1", "If the sensor is active, the valve is opened.")
+        # Shares open_valve with R1, so both live in one component.
+        session.add("R2", "If the button is pressed, the valve is opened.")
+        first = session.check()
+        assert first.verdict is Verdict.REALIZABLE
+
+        session.update("R2", "If the sensor is active, the valve is not opened.")
+        report = session.check()
+        assert report.verdict is Verdict.UNREALIZABLE
+        changed = report.delta.changed_verdicts()
+        assert len(changed) == 1
+        assert changed[0].previous_verdict is Verdict.REALIZABLE
+        assert changed[0].verdict is Verdict.UNREALIZABLE
+
+    def test_session_matches_one_shot_pipeline(self):
+        session = SpecSession()
+        for identifier, sentence in TWO_COMPONENTS:
+            session.add(identifier, sentence)
+        session.check()
+        session.update("R1", "If the sensor is normal, the valve is opened.")
+        session.add("R3", "If the alarm is issued, the door is not opened.")
+        incremental = session.check()
+
+        fresh = SpecCC().check(session.requirements())
+        assert incremental.verdict is fresh.verdict
+        assert report_to_dict(incremental.report, timings=False) == report_to_dict(
+            fresh, timings=False
+        )
+
+    def test_translation_cache_stays_bounded(self):
+        """A long edit stream must not accumulate stale memo entries."""
+        from repro import Translator
+
+        translator = Translator()
+        cache = translator.new_cache()
+        cache.max_entries = 8
+        requirements = [("R1", "If the sensor is active, the valve is opened.")]
+        for index in range(50):
+            requirements[0] = (
+                "R1",
+                f"If the sensor {index} is active, the valve is opened.",
+            )
+            translator.translate(requirements, cache)
+        stats = cache.stats()
+        assert stats["parses"] <= cache.max_entries + 1
+        assert stats["raw_formulas"] <= cache.max_entries + 1
+        assert stats["rewritten"] <= cache.max_entries + 1
+        # ... and the surviving entries still serve the current document.
+        before = dict(stats)
+        translator.translate(requirements, cache)
+        assert cache.stats() == before
+
+    def test_load_document(self):
+        session = SpecSession()
+        added = session.load_document(
+            "If the sensor is active, the valve is opened.\n"
+            "# a comment\n"
+            "If the button is pressed, the lamp is activated.\n"
+        )
+        assert added == ("R1", "R2")
+        assert session.check().consistent
+
+
+BATCH_DOCS = [
+    ("consistent", "If the sensor is active, the valve is opened.\n"),
+    (
+        "repairable",
+        "If the session is active, the page is displayed.\n"
+        "If the notice is posted, the page is not displayed.\n",
+    ),
+    ("unsat", "The valve is opened.\nThe valve is not opened.\n"),
+    (
+        "two-components",
+        "If the button is pressed, the lamp is activated.\n"
+        "If the alarm is issued, the door is not opened.\n",
+    ),
+]
+
+
+class TestBatchChecker:
+    def _canonical(self, results):
+        return [json.dumps(result.data, sort_keys=True) for result in results]
+
+    def test_parallel_is_byte_identical_to_sequential(self):
+        sequential = BatchChecker(workers=1).check_documents(BATCH_DOCS)
+        parallel = BatchChecker(workers=4).check_documents(BATCH_DOCS)
+        assert self._canonical(sequential) == self._canonical(parallel)
+        assert [r.name for r in parallel] == [name for name, _ in BATCH_DOCS]
+        assert [r.verdict for r in parallel] == [
+            "realizable",
+            "realizable",
+            "unrealizable",
+            "realizable",
+        ]
+
+    def test_component_warming_does_not_change_results(self):
+        warmed = BatchChecker(workers=4, warm_components=True).check_documents(
+            BATCH_DOCS
+        )
+        unwarmed = BatchChecker(workers=4, warm_components=False).check_documents(
+            BATCH_DOCS
+        )
+        assert self._canonical(warmed) == self._canonical(unwarmed)
+
+    def test_requirement_pair_documents(self):
+        docs = [("pairs", [("A1", "If the sensor is active, the valve is opened.")])]
+        results = BatchChecker(workers=2).check_documents(docs)
+        assert results[0].consistent
+        assert results[0].data["requirements"][0]["identifier"] == "A1"
+
+    def test_empty_batch(self):
+        assert BatchChecker().check_documents([]) == []
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            BatchChecker(backend="fiber")
+        with pytest.raises(ValueError):
+            BatchChecker(workers=0)
+
+    def test_custom_dictionary_reaches_every_backend(self):
+        """A supplied tool's antonym dictionary must shape batch verdicts
+        exactly like session checks — in-process and across processes."""
+        from repro.nlp.antonyms import AntonymDictionary
+
+        doc = (
+            "If the sensor is active, the valve is opened.\n"
+            "If the sensor is normal, the valve is not opened.\n"
+        )
+        dictionary = AntonymDictionary.default()
+        dictionary.add_pair("active", "normal")
+        tool = SpecCC(dictionary=dictionary)
+
+        def formulas(checker):
+            result = checker.check_documents([("d", doc)])[0]
+            return [entry["formula"] for entry in result.data["requirements"]]
+
+        paired = ["G (sensor -> open_valve)", "G (!sensor -> !open_valve)"]
+        assert formulas(BatchChecker(tool=tool, workers=1)) == paired
+        assert formulas(BatchChecker(tool=tool, workers=2)) == paired
+        assert (
+            formulas(BatchChecker(tool=tool, workers=2, backend="process"))
+            == paired
+        )
+        # ... while the default dictionary keeps the adjectives apart.
+        assert formulas(BatchChecker(workers=1)) != paired
+
+    def test_process_backend_matches_thread_backend(self):
+        docs = BATCH_DOCS[:2]
+        thread = BatchChecker(workers=1).check_documents(docs)
+        process = BatchChecker(workers=2, backend="process").check_documents(docs)
+        assert self._canonical(thread) == self._canonical(process)
+
+
+def run_serve(requests):
+    out = io.StringIO()
+    serve(
+        io.StringIO("\n".join(json.dumps(r) for r in requests) + "\n"),
+        out,
+    )
+    return [json.loads(line) for line in out.getvalue().splitlines()]
+
+
+class TestServe:
+    def test_session_lifecycle_over_the_wire(self):
+        SpecCC.clear_caches()  # the test asserts an exact miss count
+        responses = run_serve(
+            [
+                {"op": "add", "id": "R1", "text": TWO_COMPONENTS[0][1]},
+                {"op": "add", "id": "R2", "text": TWO_COMPONENTS[1][1]},
+                {"op": "check", "timings": False},
+                {"op": "update", "id": "R2", "text": "If the button is pressed, the lamp is not activated."},
+                {"op": "check", "timings": False},
+                {"op": "stats"},
+                {"op": "shutdown"},
+            ]
+        )
+        assert all(response["ok"] for response in responses)
+        first, second = responses[2], responses[4]
+        assert first["report"]["verdict"] == "realizable"
+        assert first["revision"] == 1
+        assert second["delta"]["edited"] == ["R2"]
+        assert second["delta"]["reanalyzed"] == 1
+        assert second["delta"]["reused"] == 1
+        assert second["delta"]["cache_misses"] == 1
+        stats = responses[5]
+        assert stats["cache"]["component_cache"]["hits"] >= 1
+        assert stats["size"] == 2
+
+    def test_batch_op(self):
+        responses = run_serve(
+            [
+                {
+                    "op": "batch",
+                    "workers": 2,
+                    "documents": [
+                        {"name": "a", "text": BATCH_DOCS[0][1]},
+                        {"name": "b", "text": BATCH_DOCS[2][1]},
+                    ],
+                },
+            ]
+        )
+        results = responses[0]["results"]
+        assert [entry["name"] for entry in results] == ["a", "b"]
+        assert results[0]["report"]["consistent"] is True
+        assert results[1]["report"]["consistent"] is False
+
+    def test_errors_do_not_kill_the_loop(self):
+        responses = run_serve(
+            [
+                {"op": "remove", "id": "R9"},
+                {"op": "frobnicate"},
+                {"op": "add", "id": "R1"},  # missing text
+                {"op": "add", "id": "R1", "text": "The valve is opened."},
+            ]
+        )
+        assert [response["ok"] for response in responses] == [
+            False,
+            False,
+            False,
+            True,
+        ]
+
+    def test_malformed_json_line(self):
+        out = io.StringIO()
+        serve(io.StringIO("this is not json\n[1,2]\n"), out)
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert [response["ok"] for response in responses] == [False, False]
+
+    def test_reset(self):
+        responses = run_serve(
+            [
+                {"op": "add", "id": "R1", "text": "The valve is opened."},
+                {"op": "reset"},
+                {"op": "stats"},
+            ]
+        )
+        assert responses[1]["size"] == 0
+        assert responses[2]["size"] == 0
+
+
+class TestCLI:
+    def test_check_json(self, tmp_path, capsys):
+        document = tmp_path / "spec.txt"
+        document.write_text("If the sensor is active, the valve is opened.\n")
+        code = cli_main(["check", str(document), "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["verdict"] == "realizable"
+        assert data["partition"] == {
+            "inputs": ["active_sensor"],
+            "outputs": ["open_valve"],
+        }
+        assert data["cache"]["component_cache"]["misses"] >= 1
+
+    def test_check_json_inconsistent_exit_code(self, tmp_path, capsys):
+        document = tmp_path / "spec.txt"
+        document.write_text("The valve is opened.\nThe valve is not opened.\n")
+        code = cli_main(["check", str(document), "--json"])
+        assert code == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["verdict"] == "unrealizable"
+        assert data["culprits"] == ["R1", "R2"]
+
+    def test_batch_directory(self, tmp_path, capsys):
+        (tmp_path / "a.txt").write_text(BATCH_DOCS[0][1])
+        (tmp_path / "b.txt").write_text(BATCH_DOCS[2][1])
+        out_file = tmp_path / "results.jsonl"
+        code = cli_main(
+            ["batch", str(tmp_path), "--workers", "2", "--output", str(out_file)]
+        )
+        assert code == 1  # one document is inconsistent
+        lines = [json.loads(line) for line in out_file.read_text().splitlines()]
+        assert [entry["name"] for entry in lines] == ["a.txt", "b.txt"]
+        assert lines[0]["report"]["consistent"] is True
+        assert lines[1]["report"]["consistent"] is False
+
+    def test_batch_empty_directory(self, tmp_path):
+        assert cli_main(["batch", str(tmp_path)]) == 2
+
+    def test_json_rejects_textual_flags(self, tmp_path, capsys):
+        document = tmp_path / "spec.txt"
+        document.write_text("The valve is opened.\n")
+        with pytest.raises(SystemExit):
+            cli_main(["check", str(document), "--json", "--ltl"])
+        assert "--json cannot be combined" in capsys.readouterr().err
+
+
+class TestCacheStats:
+    def test_stats_shape_and_movement(self):
+        stats = SpecCC.cache_stats()
+        for key in ("size", "capacity", "hits", "misses"):
+            assert key in stats["component_cache"]
+        assert "size" in stats["automaton_cache"]
+        assert stats["interned_nodes"] >= 0
+
+        before = SpecCC.cache_stats()["component_cache"]
+        tool = SpecCC()
+        tool.check([("R1", "If the sensor is active, the valve is opened.")])
+        tool.check([("R1", "If the sensor is active, the valve is opened.")])
+        after = SpecCC.cache_stats()["component_cache"]
+        assert after["hits"] > before["hits"]  # second run served from cache
