@@ -146,13 +146,15 @@ class SpecCC:
         """Observability into the process-wide caches.
 
         Returns component-outcome cache hits/misses (reset by
-        :meth:`clear_caches`), the formula→automaton cache size and the
-        live interned-node count, so sessions, benchmarks and tests can
-        assert reuse instead of guessing from timings.
+        :meth:`clear_caches`), the formula→automaton cache size, the
+        live interned-node count and the synthesis-engine work counters
+        (SAT propagations/conflicts/restarts/clause visits, safety-game
+        positions/letter updates), so sessions, benchmarks and tests can
+        assert reuse and engine work instead of guessing from timings.
         """
         from ..automata.gpvw import translation_cache_size
         from ..logic.ast import interned_count
-        from ..synthesis.realizability import component_cache_info
+        from ..synthesis.realizability import component_cache_info, synthesis_stats
 
         info = component_cache_info()
         return {
@@ -164,6 +166,7 @@ class SpecCC:
             },
             "automaton_cache": {"size": translation_cache_size()},
             "interned_nodes": interned_count(),
+            "synthesis": synthesis_stats(),
         }
 
     # ------------------------------------------------------------- pipeline

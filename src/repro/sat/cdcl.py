@@ -4,21 +4,34 @@ A compact but complete CDCL implementation standing in for the paper's use
 of Yices 2 (Section IV-E solves the time-abstraction optimisation "via
 bit-blasting"):
 
-* two-watched-literal propagation,
-* first-UIP conflict analysis with clause minimisation,
-* exponential VSIDS activity with phase saving,
+* two-watched-literal propagation with blocker literals (MiniSat-style:
+  each watcher carries a cached literal from the clause; when the blocker
+  is already true the clause body is never dereferenced),
+* first-UIP conflict analysis with self-subsumption clause minimisation,
+* exponential VSIDS activity with decay and phase saving,
 * Luby-sequence restarts,
-* incremental solving under assumptions with failed-assumption cores.
+* incremental solving under assumptions with implication-graph failed
+  assumption cores.
 
 The solver is deterministic: identical inputs yield identical models, which
 keeps the benchmark tables and tests reproducible.
+
+For differential testing and the ``benchmarks/bench_synthesis.py``
+microbench the solver can also run with ``propagation="scan"``: the
+pre-watcher reference scheme that re-scans the full body of every clause
+containing a freshly falsified literal.  Both modes share the search loop,
+conflict analysis and cores, so any divergence in verdicts is a bug the
+differential suite will catch.  :meth:`CDCLSolver.stats` exposes counters
+(propagations, conflicts, decisions, restarts, clause visits, learnt
+clauses) so benchmarks can assert that watched propagation actually visits
+fewer clauses instead of guessing from timings.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .cnf import CNF, Lit
 
@@ -33,6 +46,8 @@ class SatResult:
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
+    restarts: int = 0
+    clause_visits: int = 0
 
     def __bool__(self) -> bool:
         return self.satisfiable
@@ -44,15 +59,45 @@ class SatResult:
         return assignment if lit > 0 else not assignment
 
 
-class CDCLSolver:
-    """CDCL solver over a :class:`~repro.sat.cnf.CNF` instance."""
+def _code(lit: Lit) -> int:
+    """Dense index of a literal: positive -> 2v, negative -> 2v+1."""
+    return (abs(lit) << 1) | (lit < 0)
 
-    def __init__(self, cnf: CNF) -> None:
+
+class CDCLSolver:
+    """CDCL solver over a :class:`~repro.sat.cnf.CNF` instance.
+
+    ``propagation`` selects the unit-propagation scheme: ``"watch"`` (the
+    default two-watched-literal lists) or ``"scan"`` (the full-clause
+    re-scan reference used by the differential tests and benchmarks).
+    ``restart_interval`` scales the Luby restart sequence and ``var_decay``
+    is the per-conflict VSIDS decay factor.
+    """
+
+    def __init__(
+        self,
+        cnf: CNF,
+        propagation: str = "watch",
+        restart_interval: int = 100,
+        var_decay: float = 0.95,
+    ) -> None:
+        if propagation not in ("watch", "scan"):
+            raise ValueError(f"unknown propagation scheme: {propagation!r}")
+        self.propagation = propagation
         self.num_vars = cnf.num_vars
-        # clause database: each clause is a list of literals; index 0/1 are
-        # the watched literals.
+        # clause database: each clause is a list of literals; in watch mode
+        # indices 0/1 are the watched literals.
         self.clauses: List[List[Lit]] = []
-        self.watchers: Dict[Lit, List[int]] = {}
+        # Per-literal index (indexed by _code), allocated for the selected
+        # scheme only: watch mode keeps (clause index, blocker literal)
+        # watcher pairs, scan mode keeps plain occurrence lists.
+        size = 2 * (self.num_vars + 1)
+        self.watches: List[List[Tuple[int, Lit]]] = (
+            [[] for _ in range(size)] if propagation == "watch" else []
+        )
+        self.occurs: List[List[int]] = (
+            [[] for _ in range(size)] if propagation == "scan" else []
+        )
         self.assign: List[int] = [0] * (self.num_vars + 1)  # 0 unset, ±1
         self.level: List[int] = [0] * (self.num_vars + 1)
         self.reason: List[Optional[int]] = [None] * (self.num_vars + 1)
@@ -63,12 +108,16 @@ class CDCLSolver:
         # Max-heap (negated activity) with lazy deletion for branch picking.
         self.heap: List[tuple] = []
         self.var_inc = 1.0
-        self.var_decay = 1.0 / 0.95
+        self.var_decay = 1.0 / var_decay
+        self.restart_interval = restart_interval
         self.saved_phase: List[bool] = [False] * (self.num_vars + 1)
         self.ok = True
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.restarts = 0
+        self.clause_visits = 0
+        self.learnt_clauses = 0
         for clause in cnf.clauses:
             self.add_clause(clause)
         self.heap = [(0.0, var) for var in range(1, self.num_vars + 1)]
@@ -106,6 +155,25 @@ class CDCLSolver:
             return
         self._attach(clause)
 
+    def stats(self) -> Dict[str, int]:
+        """Work counters since construction.
+
+        ``clause_visits`` counts how many times a clause body was actually
+        scanned during propagation — the quantity the two-watched-literal
+        scheme exists to shrink.  Blocker hits and satisfied-watch
+        short-circuits do not dereference the clause and are not counted.
+        """
+        return {
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "restarts": self.restarts,
+            "clause_visits": self.clause_visits,
+            "learnt_clauses": self.learnt_clauses,
+            "clauses": len(self.clauses),
+            "vars": self.num_vars,
+        }
+
     def solve(self, assumptions: Sequence[Lit] = ()) -> SatResult:
         """Search for a model extending *assumptions*."""
         if not self.ok:
@@ -117,7 +185,6 @@ class CDCLSolver:
             return SatResult(False, failed_assumptions=[], conflicts=self.conflicts)
 
         assumption_list = list(assumptions)
-        restart_threshold = 100
         luby_index = 1
         conflicts_since_restart = 0
 
@@ -131,6 +198,7 @@ class CDCLSolver:
                     return self._unsat_result([])
                 learnt, backjump = self._analyze(conflict)
                 self._backtrack(backjump)
+                self.learnt_clauses += 1
                 if len(learnt) == 1:
                     self._enqueue(learnt[0], None)
                 else:
@@ -139,9 +207,10 @@ class CDCLSolver:
                 self.var_inc *= self.var_decay
                 continue
 
-            if conflicts_since_restart >= restart_threshold * _luby(luby_index):
+            if conflicts_since_restart >= self.restart_interval * _luby(luby_index):
                 luby_index += 1
                 conflicts_since_restart = 0
+                self.restarts += 1
                 self._backtrack(0)
                 continue
 
@@ -175,6 +244,8 @@ class CDCLSolver:
                     conflicts=self.conflicts,
                     decisions=self.decisions,
                     propagations=self.propagations,
+                    restarts=self.restarts,
+                    clause_visits=self.clause_visits,
                 )
             self.decisions += 1
             self.trail_lim.append(len(self.trail))
@@ -188,6 +259,9 @@ class CDCLSolver:
         self.reason.extend([None] * extra)
         self.activity.extend([0.0] * extra)
         self.saved_phase.extend([False] * extra)
+        index = self.watches if self.propagation == "watch" else self.occurs
+        for _ in range(2 * extra):
+            index.append([])
         for fresh in range(self.num_vars + 1, var + 1):
             heapq.heappush(self.heap, (0.0, fresh))
         self.num_vars = var
@@ -202,8 +276,13 @@ class CDCLSolver:
     def _attach(self, clause: List[Lit]) -> int:
         index = len(self.clauses)
         self.clauses.append(clause)
-        self.watchers.setdefault(clause[0], []).append(index)
-        self.watchers.setdefault(clause[1], []).append(index)
+        if self.propagation == "watch":
+            # Each watcher caches the other watched literal as its blocker.
+            self.watches[_code(clause[0])].append((index, clause[1]))
+            self.watches[_code(clause[1])].append((index, clause[0]))
+        else:
+            for lit in clause:
+                self.occurs[_code(lit)].append(index)
         return index
 
     def _enqueue(self, lit: Lit, reason: Optional[int]) -> bool:
@@ -222,45 +301,96 @@ class CDCLSolver:
 
     def _propagate(self) -> Optional[int]:
         """Unit propagation; returns a conflicting clause index or None."""
+        if self.propagation == "scan":
+            return self._propagate_scan()
+        return self._propagate_watch()
+
+    def _propagate_watch(self) -> Optional[int]:
+        value = self._value
+        clauses = self.clauses
         while self.queue_head < len(self.trail):
             lit = self.trail[self.queue_head]
             self.queue_head += 1
             self.propagations += 1
             falsified = -lit
-            watch_list = self.watchers.get(falsified)
+            watch_list = self.watches[_code(falsified)]
             if not watch_list:
                 continue
-            new_list: List[int] = []
-            conflict: Optional[int] = None
+            keep = 0  # in-place compaction: watchers [0, keep) survive
             i = 0
+            conflict: Optional[int] = None
             while i < len(watch_list):
-                index = watch_list[i]
+                index, blocker = watch_list[i]
                 i += 1
-                clause = self.clauses[index]
+                if value(blocker) == 1:
+                    watch_list[keep] = (index, blocker)
+                    keep += 1
+                    continue
+                clause = clauses[index]
+                self.clause_visits += 1
                 if clause[0] == falsified:
                     clause[0], clause[1] = clause[1], clause[0]
                 # clause[1] is the falsified watcher now.
                 first = clause[0]
-                if self._value(first) == 1:
-                    new_list.append(index)
+                if first != blocker and value(first) == 1:
+                    watch_list[keep] = (index, first)
+                    keep += 1
                     continue
                 moved = False
                 for k in range(2, len(clause)):
-                    if self._value(clause[k]) != -1:
+                    if value(clause[k]) != -1:
                         clause[1], clause[k] = clause[k], clause[1]
-                        self.watchers.setdefault(clause[1], []).append(index)
+                        self.watches[_code(clause[1])].append((index, first))
                         moved = True
                         break
                 if moved:
                     continue
-                new_list.append(index)
+                # Clause is unit (or conflicting) under the current trail.
+                watch_list[keep] = (index, first)
+                keep += 1
                 if not self._enqueue(first, index):
                     conflict = index
-                    new_list.extend(watch_list[i:])
+                    while i < len(watch_list):
+                        watch_list[keep] = watch_list[i]
+                        keep += 1
+                        i += 1
                     break
-            self.watchers[falsified] = new_list
+            del watch_list[keep:]
             if conflict is not None:
                 return conflict
+        return None
+
+    def _propagate_scan(self) -> Optional[int]:
+        """Reference propagation: re-scan every clause containing the
+        freshly falsified literal in full.  Kept for differential tests and
+        the propagation microbench; never the default."""
+        value = self._value
+        clauses = self.clauses
+        while self.queue_head < len(self.trail):
+            lit = self.trail[self.queue_head]
+            self.queue_head += 1
+            self.propagations += 1
+            falsified = -lit
+            for index in self.occurs[_code(falsified)]:
+                clause = clauses[index]
+                self.clause_visits += 1
+                unit: Optional[Lit] = None
+                satisfied = False
+                unassigned = 0
+                for other in clause:
+                    status = value(other)
+                    if status == 1:
+                        satisfied = True
+                        break
+                    if status == 0:
+                        unassigned += 1
+                        unit = other
+                if satisfied:
+                    continue
+                if unassigned == 0:
+                    return index
+                if unassigned == 1:
+                    self._enqueue(unit, index)
         return None
 
     def _analyze(self, conflict_index: int):
@@ -332,16 +462,37 @@ class CDCLSolver:
     def _assumption_core(
         self, assumptions: Sequence[Lit], failed: Optional[Lit] = None
     ) -> List[Lit]:
-        """A (not necessarily minimal) subset of assumptions causing UNSAT."""
+        """A subset of assumptions sufficient for unsatisfiability.
+
+        When assumption *failed* is found falsified, its complement was
+        implied by the trail; walking that literal's implication graph back
+        to its roots collects exactly the assumptions involved.  (At that
+        point every decision on the trail is an assumption: free decisions
+        only happen once all assumptions are placed, and any backjump that
+        unassigns an assumption removes the free decisions above it.)  The
+        core is sufficient but not guaranteed minimal.
+        """
         assumption_set = set(assumptions)
         core: Set[Lit] = set()
-        worklist: List[int] = []
-        if failed is not None:
-            core.add(failed)
-            worklist.append(abs(failed))
-        for lit in self.trail:
-            if lit in assumption_set:
-                core.add(lit)
+        if failed is None:
+            return []
+        core.add(failed)
+        pending: List[int] = [abs(failed)]
+        visited: Set[int] = set()
+        while pending:
+            var = pending.pop()
+            if var in visited or self.level[var] == 0:
+                continue  # root facts need no assumptions
+            visited.add(var)
+            reason_index = self.reason[var]
+            if reason_index is None:
+                lit = var if self.assign[var] == 1 else -var
+                if lit in assumption_set:
+                    core.add(lit)
+                continue
+            for other in self.clauses[reason_index]:
+                if abs(other) != var:
+                    pending.append(abs(other))
         return sorted(core, key=abs)
 
     def _bump(self, var: int) -> None:
@@ -387,6 +538,8 @@ class CDCLSolver:
             conflicts=self.conflicts,
             decisions=self.decisions,
             propagations=self.propagations,
+            restarts=self.restarts,
+            clause_visits=self.clause_visits,
         )
 
 

@@ -92,6 +92,27 @@ class CNF:
         return "\n".join(lines) + "\n"
 
     @staticmethod
+    def pigeonhole(pigeons: int, holes: int) -> "CNF":
+        """The pigeonhole instance family: ``p(i,h) = holes*i + h + 1``.
+
+        Unsatisfiable whenever ``pigeons > holes`` and resolution-hard, so
+        the tests and the propagation microbench share it as a
+        conflict-heavy workload.
+        """
+        cnf = CNF()
+
+        def var(i: int, h: int) -> int:
+            return holes * i + h + 1
+
+        for i in range(pigeons):
+            cnf.add([var(i, h) for h in range(holes)])
+        for h in range(holes):
+            for i in range(pigeons):
+                for j in range(i + 1, pigeons):
+                    cnf.add([-var(i, h), -var(j, h)])
+        return cnf
+
+    @staticmethod
     def from_dimacs(text: str) -> "CNF":
         cnf = CNF()
         for line in text.splitlines():

@@ -21,6 +21,7 @@ from .realizability import (
     SynthesisLimits,
     Verdict,
     check_realizability,
+    synthesis_stats,
 )
 from .safety_game import SafetyGameResult, StateSpaceLimit
 from .safety_game import solve as solve_safety_game
@@ -46,6 +47,7 @@ __all__ = [
     "localize",
     "satisfies_specification",
     "solve_safety_game",
+    "synthesis_stats",
     "synthesize",
     "synthesize_environment",
     "violation_witness",

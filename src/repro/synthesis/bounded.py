@@ -22,7 +22,7 @@ machine witnesses unrealizability.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..automata.buchi import BuchiAutomaton, Label
@@ -43,6 +43,10 @@ class BoundedSynthesisResult:
     annotation_bound: int
     sat_vars: int = 0
     sat_clauses: int = 0
+    #: :meth:`repro.sat.cdcl.CDCLSolver.stats` snapshot of the solve —
+    #: propagations, conflicts, restarts, clause visits — so callers can
+    #: aggregate SAT work across the synthesis loop.
+    solver_stats: Dict[str, int] = field(default_factory=dict, compare=False)
 
 
 def synthesize(
@@ -193,10 +197,12 @@ def _synthesize_against(
                             if j == 0 and bump == 0:
                                 # definedness propagation is j == 0 case
                                 pass
-    result = CDCLSolver(cnf).solve()
+    solver = CDCLSolver(cnf)
+    result = solver.solve()
     if not result:
         return BoundedSynthesisResult(
-            False, None, num_states, k, cnf.num_vars, len(cnf.clauses)
+            False, None, num_states, k, cnf.num_vars, len(cnf.clauses),
+            solver_stats=solver.stats(),
         )
 
     machine = MealyMachine(
@@ -219,5 +225,6 @@ def _synthesize_against(
             )
             machine.add_transition(s, sigma, successor, output)
     return BoundedSynthesisResult(
-        True, machine, num_states, k, cnf.num_vars, len(cnf.clauses)
+        True, machine, num_states, k, cnf.num_vars, len(cnf.clauses),
+        solver_stats=solver.stats(),
     )

@@ -99,6 +99,10 @@ class SynthesisLimits:
     #: conjunction, which blows up combinatorially past a handful of
     #: liveness requirements; cap the number of formulas it sees.
     max_precheck_formulas: int = 6
+    #: Letter-enumeration scheme of the safety game: ``"partial"``
+    #: (support-projected letters) or ``"concrete"`` (the full
+    #: ``2^|I| * 2^|O|`` reference, used by equivalence tests/benchmarks).
+    game_exploration: str = "partial"
 
 
 class _ComponentOutcome(NamedTuple):
@@ -130,6 +134,59 @@ _component_lock = threading.Lock()
 _component_hits = 0
 _component_misses = 0
 
+# Engine-work accumulators: how much the SAT solver and the safety game
+# actually did since the last clear_caches().  Cached component outcomes
+# add nothing here — the counters measure work performed, which is exactly
+# what the synthesis benchmarks want to assert shrank.  Guarded by their
+# own lock so batch workers can record concurrently.
+_stats_lock = threading.Lock()
+
+
+def _zero_synthesis_stats() -> Dict[str, int]:
+    return {
+        "game_solves": 0,
+        "game_positions": 0,
+        "game_letters": 0,
+        "sat_solves": 0,
+        "sat_propagations": 0,
+        "sat_conflicts": 0,
+        "sat_decisions": 0,
+        "sat_restarts": 0,
+        "sat_clause_visits": 0,
+    }
+
+
+_synthesis_stats: Dict[str, int] = _zero_synthesis_stats()
+
+
+def _record_game(stats: Dict[str, int]) -> None:
+    with _stats_lock:
+        _synthesis_stats["game_solves"] += 1
+        _synthesis_stats["game_positions"] += stats.get("positions", 0)
+        _synthesis_stats["game_letters"] += stats.get("letters_enumerated", 0)
+
+
+def _record_sat(stats: Dict[str, int]) -> None:
+    with _stats_lock:
+        _synthesis_stats["sat_solves"] += 1
+        _synthesis_stats["sat_propagations"] += stats.get("propagations", 0)
+        _synthesis_stats["sat_conflicts"] += stats.get("conflicts", 0)
+        _synthesis_stats["sat_decisions"] += stats.get("decisions", 0)
+        _synthesis_stats["sat_restarts"] += stats.get("restarts", 0)
+        _synthesis_stats["sat_clause_visits"] += stats.get("clause_visits", 0)
+
+
+def synthesis_stats() -> Dict[str, int]:
+    """Aggregated engine-work counters since the last :func:`clear_caches`.
+
+    ``game_*`` counts safety-game exploration (positions, enumerated
+    letters, counting-function updates); ``sat_*`` counts CDCL work across
+    every bounded-synthesis solve (propagations, conflicts, restarts and
+    the clause visits the watcher lists exist to minimise).
+    """
+    with _stats_lock:
+        return dict(_synthesis_stats)
+
 
 class CacheInfo(NamedTuple):
     """Component-outcome cache statistics.
@@ -158,6 +215,9 @@ def clear_caches() -> None:
         _component_cache.clear()
         _component_hits = 0
         _component_misses = 0
+    with _stats_lock:
+        _synthesis_stats.clear()
+        _synthesis_stats.update(_zero_synthesis_stats())
     gpvw.clear_translation_cache()
 
 
@@ -331,9 +391,11 @@ def _analyze_component(
                     local_outputs,
                     bound=bound,
                     max_positions=limits.max_game_positions,
+                    exploration=limits.game_exploration,
                 )
             except StateSpaceLimit:
                 break
+            _record_game(outcome.stats)
             if outcome.realizable:
                 controller = outcome.machine
                 verdict = Verdict.REALIZABLE
@@ -343,6 +405,7 @@ def _analyze_component(
                 dual = synthesize_environment(
                     specification, local_inputs, local_outputs, num_states=bound
                 )
+                _record_sat(dual.solver_stats)
                 if dual.realizable:
                     counterstrategy = dual.machine
                     verdict = Verdict.UNREALIZABLE
@@ -353,6 +416,7 @@ def _analyze_component(
                 attempt = synthesize(
                     specification, local_inputs, local_outputs, num_states=size
                 )
+                _record_sat(attempt.solver_stats)
                 if attempt.realizable:
                     controller = attempt.machine
                     verdict = Verdict.REALIZABLE
@@ -361,6 +425,7 @@ def _analyze_component(
                 dual = synthesize_environment(
                     specification, local_inputs, local_outputs, num_states=size
                 )
+                _record_sat(dual.solver_stats)
                 if dual.realizable:
                     counterstrategy = dual.machine
                     verdict = Verdict.UNREALIZABLE

@@ -8,14 +8,21 @@ maximal number of rejecting visits on any run reaching it (or absent).
 Solving the resulting safety game by backward induction yields a
 controller; growing ``k`` recovers completeness in the limit.
 
-Positions are explored on the fly, and only from input/output letters over
-the automaton's support, so requirements mentioning few propositions stay
-cheap regardless of the global alphabet.
+Positions are explored on the fly over **partial letters**: only the
+propositions that actually appear in some transition guard (the label
+support) are enumerated, every other proposition stays symbolic.  Two
+concrete letters that agree on the support take identical transitions, so
+the quotient is exact — the game over partial letters has the same
+positions, the same losing region and yields the same controller as the
+game over all ``2^|I| * 2^|O|`` concrete letters, at a cost independent of
+how many don't-care outputs the interface declares.  The pre-quotient
+concrete enumeration is kept behind ``exploration="concrete"`` as the
+reference for the golden equivalence tests and benchmarks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..automata.buchi import BuchiAutomaton
@@ -24,6 +31,9 @@ from ..logic.ast import Formula, Not
 from .mealy import Letter, MealyMachine, all_letters
 
 CountingFunction = Tuple[Tuple[int, int], ...]  # sorted ((state, count), ...)
+
+#: Letter-enumeration schemes for :func:`solve`.
+EXPLORATION_MODES = ("partial", "concrete")
 
 
 class StateSpaceLimit(RuntimeError):
@@ -38,6 +48,9 @@ class SafetyGameResult:
     machine: Optional[MealyMachine]
     bound: int
     positions_explored: int
+    #: Work counters: letters enumerated (= counting-function updates), the
+    #: size of the enumerated input/output letter sets and of the support.
+    stats: Dict[str, int] = field(default_factory=dict, compare=False)
 
 
 def solve(
@@ -46,17 +59,23 @@ def solve(
     outputs: Sequence[str],
     bound: int = 2,
     max_positions: int = 200_000,
+    exploration: str = "partial",
 ) -> SafetyGameResult:
     """Solve the ``bound``-co-Büchi safety game for *specification*.
 
     ``realizable=True`` is definitive; ``False`` only means "not winnable
     within this bound" — the caller grows the bound or consults the dual
-    engine for unrealizability.
+    engine for unrealizability.  ``exploration`` picks the letter scheme:
+    ``"partial"`` (support-projected letters, the default) or
+    ``"concrete"`` (every subset of the declared alphabet, kept as the
+    equivalence-test reference).
     """
+    if exploration not in EXPLORATION_MODES:
+        raise ValueError(f"unknown exploration mode: {exploration!r}")
     automaton = translate(Not(specification)).degeneralize()
     rejecting = automaton.accepting_sets[0]
     game = _Game(automaton, rejecting, tuple(sorted(inputs)), tuple(sorted(outputs)),
-                 bound, max_positions)
+                 bound, max_positions, exploration)
     return game.solve()
 
 
@@ -69,6 +88,7 @@ class _Game:
         outputs: Tuple[str, ...],
         bound: int,
         max_positions: int,
+        exploration: str = "partial",
     ) -> None:
         self.automaton = automaton
         self.rejecting = rejecting
@@ -76,19 +96,16 @@ class _Game:
         self.outputs = outputs
         self.bound = bound
         self.max_positions = max_positions
-        self.input_letters = all_letters(inputs)
-        self.output_letters = all_letters(outputs)
+        self.exploration = exploration
         # Bitmask compilation: propositions get bit positions, transition
         # guards become (positive mask, negative mask) pairs, and letters
-        # become integers — letter matching is then two AND operations,
-        # which is what keeps the 2^|O| output enumeration tolerable.
+        # become integers — letter matching is then two AND operations.
         self.bit_of = {
             name: index
             for index, name in enumerate(sorted(set(inputs) | set(outputs)))
         }
-        self.input_masks = [self._mask(letter) for letter in self.input_letters]
-        self.output_masks = [self._mask(letter) for letter in self.output_letters]
         self.compiled: Dict[int, List[Tuple[int, int, int, int]]] = {}
+        support = 0
         for state in automaton.reachable_states():
             rows = []
             alphabet = frozenset(self.bit_of)
@@ -103,16 +120,39 @@ class _Game:
                 neg = self._mask(label.neg & alphabet)
                 bump = 1 if successor in rejecting else 0
                 rows.append((pos, neg, successor, bump))
+                support |= pos | neg
             self.compiled[state] = rows
+        # Partial letters: every proposition outside the guard support is a
+        # don't-care — transitions cannot distinguish letters that agree on
+        # the support, so enumerating support subsets is an exact quotient.
+        if exploration == "partial":
+            self.enum_inputs = tuple(
+                name for name in inputs if support & (1 << self.bit_of[name])
+            )
+            self.enum_outputs = tuple(
+                name for name in outputs if support & (1 << self.bit_of[name])
+            )
+        else:
+            self.enum_inputs = inputs
+            self.enum_outputs = outputs
+        #: Concrete input letters are projected onto this mask to find
+        #: their row (the identity projection in concrete mode).
+        self.row_input_mask = self._mask(frozenset(self.enum_inputs))
+        self.input_letters = all_letters(self.enum_inputs)
+        self.output_letters = all_letters(self.enum_outputs)
+        self.input_masks = [self._mask(letter) for letter in self.input_letters]
+        self.output_masks = [self._mask(letter) for letter in self.output_letters]
+        self.support_size = bin(support).count("1")
         initial: Dict[int, int] = {}
         for q in automaton.initial:
             bump = 1 if q in rejecting else 0
             initial[q] = max(initial.get(q, 0), bump)
         self.initial = _freeze(initial)
-        # position -> {input letter -> {output letter -> successor or None}}
+        # position -> {input letter mask -> {output letter mask -> successor}}
         self.successors: Dict[
-            CountingFunction, Dict[Letter, Dict[Letter, Optional[CountingFunction]]]
+            CountingFunction, Dict[int, Dict[int, Optional[CountingFunction]]]
         ] = {}
+        self.letters_enumerated = 0
 
     def _mask(self, names: FrozenSet[str]) -> int:
         mask = 0
@@ -145,17 +185,12 @@ class _Game:
         while worklist:
             position = worklist.pop()
             table = self.successors[position]
-            for sigma, sigma_mask in zip(self.input_letters, self.input_masks):
-                row: Dict[Letter, Optional[CountingFunction]] = {}
-                cache: Dict[int, Optional[CountingFunction]] = {}
-                for out, out_mask in zip(self.output_letters, self.output_masks):
-                    combined = sigma_mask | out_mask
-                    if combined in cache:
-                        successor = cache[combined]
-                    else:
-                        successor = self._update_mask(position, combined)
-                        cache[combined] = successor
-                    row[out] = successor
+            for sigma_mask in self.input_masks:
+                row: Dict[int, Optional[CountingFunction]] = {}
+                for out_mask in self.output_masks:
+                    self.letters_enumerated += 1
+                    successor = self._update_mask(position, sigma_mask | out_mask)
+                    row[out_mask] = successor
                     if successor is not None and successor not in self.successors:
                         if len(self.successors) >= self.max_positions:
                             raise StateSpaceLimit(
@@ -163,7 +198,7 @@ class _Game:
                             )
                         self.successors[successor] = {}
                         worklist.append(successor)
-                table[sigma] = row
+                table[sigma_mask] = row
 
     # ------------------------------------------------------------------ solve
     def solve(self) -> SafetyGameResult:
@@ -179,14 +214,22 @@ class _Game:
                     losing.add(position)
                     changed = True
         explored = len(self.successors)
+        stats = {
+            "positions": explored,
+            "letters_enumerated": self.letters_enumerated,
+            "input_letters": len(self.input_letters),
+            "output_letters": len(self.output_letters),
+            "support_propositions": self.support_size,
+            "alphabet_propositions": len(self.bit_of),
+        }
         if self.initial in losing:
-            return SafetyGameResult(False, None, self.bound, explored)
+            return SafetyGameResult(False, None, self.bound, explored, stats)
         machine = self._extract(losing)
-        return SafetyGameResult(True, machine, self.bound, explored)
+        return SafetyGameResult(True, machine, self.bound, explored, stats)
 
     def _is_losing(
         self,
-        table: Dict[Letter, Dict[Letter, Optional[CountingFunction]]],
+        table: Dict[int, Dict[int, Optional[CountingFunction]]],
         losing: Set[CountingFunction],
     ) -> bool:
         for row in table.values():
@@ -198,21 +241,34 @@ class _Game:
         return False
 
     def _extract(self, losing: Set[CountingFunction]) -> MealyMachine:
-        """Deterministic strategy over the winning region."""
+        """Deterministic strategy over the winning region.
+
+        The machine is total over the full *concrete* input alphabet: each
+        concrete input letter is projected onto the enumerated support to
+        find its row.  The chosen output letter is the first safe one in
+        ``all_letters`` order; don't-care outputs stay off, which is also
+        what the first safe letter of the concrete enumeration looks like —
+        so both exploration modes extract the identical machine.
+        """
         order: Dict[CountingFunction, int] = {self.initial: 0}
         machine = MealyMachine(
             inputs=self.inputs, outputs=self.outputs, num_states=0
         )
         worklist = [self.initial]
         transitions: List[Tuple[int, Letter, CountingFunction, Letter]] = []
+        concrete_inputs = [
+            (sigma, self._mask(sigma) & self.row_input_mask)
+            for sigma in all_letters(self.inputs)
+        ]
         while worklist:
             position = worklist.pop()
             source = order[position]
-            for sigma in self.input_letters:
-                row = self.successors[position][sigma]
+            table = self.successors[position]
+            for sigma, sigma_row_mask in concrete_inputs:
+                row = table[sigma_row_mask]
                 chosen: Optional[Tuple[Letter, CountingFunction]] = None
-                for out in self.output_letters:
-                    successor = row[out]
+                for out, out_mask in zip(self.output_letters, self.output_masks):
+                    successor = row[out_mask]
                     if successor is not None and successor not in losing:
                         chosen = (out, successor)
                         break

@@ -18,6 +18,7 @@ from repro.sat import (
     solve,
     solve_brute,
 )
+from repro.sat.cdcl import _luby
 
 
 def cnf_of(*clauses):
@@ -118,6 +119,102 @@ class TestCDCLBasics:
         result = solve(cnf_of([1, 2], [-1, 2], [1, -2], [-1, -2, 3]))
         assert result.propagations >= 0
         assert result.conflicts >= 0
+
+    def test_stats_method_reports_work(self):
+        solver = CDCLSolver(cnf_of([1, 2], [-1, 2], [1, -2], [-1, -2, 3]))
+        assert solver.solve()
+        stats = solver.stats()
+        for key in (
+            "propagations",
+            "conflicts",
+            "decisions",
+            "restarts",
+            "clause_visits",
+            "learnt_clauses",
+            "clauses",
+            "vars",
+        ):
+            assert key in stats, key
+        assert stats["propagations"] > 0
+        assert stats["vars"] == 3
+
+    def test_unknown_propagation_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CDCLSolver(cnf_of([1]), propagation="magic")
+
+
+pigeonhole = CNF.pigeonhole
+
+
+class TestRestartsAndLuby:
+    def test_luby_sequence_prefix(self):
+        assert [_luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_restarts_follow_luby_with_short_interval(self):
+        # restart_interval=1 restarts after every 1*luby(i) conflicts, so a
+        # conflict-heavy instance must restart and still answer correctly.
+        solver = CDCLSolver(pigeonhole(5, 4), restart_interval=1)
+        result = solver.solve()
+        assert not result
+        assert solver.stats()["restarts"] >= 1
+        assert result.restarts == solver.stats()["restarts"]
+
+    def test_default_interval_rarely_restarts_on_small_instances(self):
+        solver = CDCLSolver(cnf_of([1, 2], [-1, 2]))
+        assert solver.solve()
+        assert solver.stats()["restarts"] == 0
+
+
+class TestClauseMinimisation:
+    def test_self_subsumed_literal_dropped(self):
+        # 1 (decision) propagates 2 via (-1 v 2).  In a learnt clause
+        # [x, -2, -1] the literal -2 is redundant: its reason's other
+        # literal -1 is already in the clause.
+        solver = CDCLSolver(cnf_of([-1, 2]))
+        solver.add_clause([-3, 1])  # give variable 3 a home
+        solver.trail_lim.append(len(solver.trail))
+        assert solver._enqueue(1, None)
+        assert solver._propagate() is None
+        assert solver._value(2) == 1 and solver.reason[2] is not None
+        seen = [False] * (solver.num_vars + 1)
+        learnt = solver._minimise([-3, -2, -1], seen)
+        assert learnt == [-3, -1]
+        assert seen == [False] * (solver.num_vars + 1)  # scratch state restored
+
+    def test_decision_literal_never_dropped(self):
+        solver = CDCLSolver(cnf_of([-1, 2]))
+        solver.trail_lim.append(len(solver.trail))
+        assert solver._enqueue(1, None)
+        assert solver._propagate() is None
+        seen = [False] * (solver.num_vars + 1)
+        assert solver._minimise([2, -1], seen) == [2, -1]
+
+
+class TestPropagationSchemes:
+    def test_scan_mode_agrees_on_pigeonhole(self):
+        cnf = pigeonhole(4, 3)
+        assert not CDCLSolver(cnf, propagation="watch").solve()
+        assert not CDCLSolver(cnf, propagation="scan").solve()
+
+    def test_watchers_visit_fewer_clauses_per_propagation(self):
+        cnf = pigeonhole(6, 5)
+        watch = CDCLSolver(cnf, propagation="watch")
+        scan = CDCLSolver(cnf, propagation="scan")
+        assert not watch.solve() and not scan.solve()
+        watch_rate = watch.clause_visits / max(1, watch.propagations)
+        scan_rate = scan.clause_visits / max(1, scan.propagations)
+        assert watch_rate * 2 <= scan_rate, (watch_rate, scan_rate)
+
+    def test_incremental_solving_in_scan_mode(self):
+        solver = CDCLSolver(cnf_of([1, 2]), propagation="scan")
+        assert solver.solve()
+        solver.add_clause([-1])
+        result = solver.solve()
+        assert result and result.value(2)
+        solver.add_clause([-2])
+        assert not solver.solve()
 
 
 class TestAssumptions:

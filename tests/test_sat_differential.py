@@ -1,0 +1,171 @@
+"""Differential fuzzing of the CDCL solver against the brute-force oracle.
+
+Hypothesis generates random CNFs (and assumption sets) and cross-checks
+
+* ``CDCLSolver(propagation="watch")`` — the two-watched-literal default,
+* ``CDCLSolver(propagation="scan")`` — the full-clause re-scan reference,
+* ``solve_brute`` — exhaustive enumeration, the ground truth.
+
+SAT answers are verified by evaluating the model against every clause;
+UNSAT answers must agree on all three sides; failed-assumption cores are
+checked for membership (every core literal is an assumption) and
+sufficiency (the formula plus the core alone is unsatisfiable by brute
+force).  All runs are derandomized so CI is deterministic; the shrink
+database (``.hypothesis/``) is gitignored.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import CDCLSolver, CNF, solve_brute
+
+NUM_VARS = 6
+
+literals = st.integers(min_value=1, max_value=NUM_VARS).flatmap(
+    lambda var: st.sampled_from([var, -var])
+)
+clauses = st.lists(literals, min_size=1, max_size=4)
+cnfs = st.lists(clauses, min_size=0, max_size=30)
+assumption_sets = st.lists(literals, min_size=1, max_size=4)
+
+DETERMINISTIC = settings(max_examples=120, deadline=None, derandomize=True)
+
+
+def build(clause_list) -> CNF:
+    cnf = CNF()
+    for clause in clause_list:
+        cnf.add(clause)
+    cnf.num_vars = max(cnf.num_vars, NUM_VARS)
+    return cnf
+
+
+def assert_model_satisfies(result, cnf: CNF, context: str) -> None:
+    for clause in cnf.clauses:
+        assert any(result.value(lit) for lit in clause), (context, clause)
+
+
+class TestSolveAgainstBrute:
+    @given(cnfs)
+    @DETERMINISTIC
+    def test_watch_mode_agrees_with_brute(self, clause_list):
+        cnf = build(clause_list)
+        brute = solve_brute(cnf)
+        result = CDCLSolver(cnf, propagation="watch").solve()
+        assert bool(result) == (brute is not None)
+        if result:
+            assert_model_satisfies(result, cnf, "watch")
+
+    @given(cnfs)
+    @DETERMINISTIC
+    def test_scan_mode_agrees_with_brute(self, clause_list):
+        cnf = build(clause_list)
+        brute = solve_brute(cnf)
+        result = CDCLSolver(cnf, propagation="scan").solve()
+        assert bool(result) == (brute is not None)
+        if result:
+            assert_model_satisfies(result, cnf, "scan")
+
+    @given(cnfs)
+    @DETERMINISTIC
+    def test_modes_agree_with_each_other(self, clause_list):
+        watch = CDCLSolver(build(clause_list), propagation="watch").solve()
+        scan = CDCLSolver(build(clause_list), propagation="scan").solve()
+        assert bool(watch) == bool(scan)
+
+
+class TestAssumptionCores:
+    @given(cnfs, assumption_sets)
+    @DETERMINISTIC
+    def test_verdict_matches_unit_clauses(self, clause_list, assumptions):
+        cnf = build(clause_list)
+        with_units = build(clause_list)
+        for lit in assumptions:
+            with_units.add([lit])
+        expected = solve_brute(with_units) is not None
+        for mode in ("watch", "scan"):
+            result = CDCLSolver(cnf, propagation=mode).solve(assumptions)
+            assert bool(result) == expected, mode
+
+    @given(cnfs, assumption_sets)
+    @DETERMINISTIC
+    def test_core_membership_and_sufficiency(self, clause_list, assumptions):
+        cnf = build(clause_list)
+        result = CDCLSolver(cnf).solve(assumptions)
+        if result:
+            assert_model_satisfies(result, cnf, "assumptions-sat")
+            for lit in assumptions:
+                assert result.value(lit), lit
+            return
+        core = result.failed_assumptions
+        assert core is not None
+        # Membership: the core only ever names given assumptions.
+        assert set(core) <= set(assumptions)
+        # Sufficiency: the formula plus the core alone is unsatisfiable.
+        with_core = build(clause_list)
+        for lit in core:
+            with_core.add([lit])
+        assert solve_brute(with_core) is None, (core, assumptions)
+
+    def test_core_traces_implication_chain(self):
+        # 1 -> 2 -> 3; assuming 1 and -3 must fail with exactly {1, -3}:
+        # the trace excludes unrelated assumptions like 5.
+        cnf = build([[-1, 2], [-2, 3]])
+        result = CDCLSolver(cnf).solve(assumptions=[5, 1, -3])
+        assert not result
+        assert result.failed_assumptions == [1, -3]
+
+    def test_root_falsified_assumption_is_its_own_core(self):
+        cnf = build([[-4]])
+        result = CDCLSolver(cnf).solve(assumptions=[2, 4])
+        assert not result
+        assert result.failed_assumptions == [4]
+
+
+class TestSeededCorpus:
+    """A fixed random corpus on top of Hypothesis, mirroring the historical
+    ``random_cnf`` tests but now exercising both propagation schemes and
+    assumption handling on every instance."""
+
+    def corpus(self, seed: int):
+        rng = random.Random(seed)
+        cnf = CNF()
+        for _ in range(rng.randint(5, 45)):
+            width = rng.randint(1, 3)
+            cnf.add(
+                [
+                    var if rng.random() < 0.5 else -var
+                    for var in (rng.randint(1, 8) for _ in range(width))
+                ]
+            )
+        cnf.num_vars = max(cnf.num_vars, 8)
+        assumptions = [
+            rng.choice([1, -1]) * rng.randint(1, 8) for _ in range(rng.randint(0, 3))
+        ]
+        return cnf, assumptions
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_corpus_instance(self, seed):
+        cnf, assumptions = self.corpus(seed)
+        with_units = CNF()
+        with_units.add_all(cnf.clauses)
+        for lit in assumptions:
+            with_units.add([lit])
+        expected = solve_brute(with_units) is not None
+        for mode in ("watch", "scan"):
+            result = CDCLSolver(cnf, propagation=mode).solve(assumptions)
+            assert bool(result) == expected, (seed, mode)
+            if result:
+                assert_model_satisfies(result, cnf, (seed, mode))
+            elif result.failed_assumptions:
+                core = result.failed_assumptions
+                assert set(core) <= set(assumptions), (seed, mode)
+                with_core = CNF()
+                with_core.add_all(cnf.clauses)
+                for lit in core:
+                    with_core.add([lit])
+                assert solve_brute(with_core) is None, (seed, mode, core)

@@ -115,6 +115,170 @@ class TestVerifier:
         assert satisfies_specification(machine, parse("G (r -> F g)"))
 
 
+class TestSafetyGameEquivalence:
+    """Golden equivalence: the partial-letter exploration must produce the
+    exact results of the concrete ``2^|I| * 2^|O|`` enumeration it
+    replaced — same verdicts, same explored positions, byte-identical
+    winning strategies."""
+
+    SPECS = [
+        ("G (r -> X g)", ["r"], ["g"]),
+        ("G (r -> g)", ["r"], ["g"]),
+        ("G (r -> F g)", ["r"], ["g"]),
+        ("G (g <-> X X i)", ["i"], ["g"]),
+        ("G (r -> F g) && G (c -> !g)", ["r", "c"], ["g"]),
+        ("G F g && G (g -> X !g)", [], ["g"]),
+        ("F g && G !g", [], ["g"]),
+        # Wide interfaces: the extra propositions are don't-cares.
+        ("G (r -> X g)", ["r"], ["g", "o1", "o2", "o3"]),
+        ("G (r -> X X g)", ["r", "i9"], ["g", "o1"]),
+    ]
+
+    @pytest.mark.parametrize("bound", [1, 2])
+    @pytest.mark.parametrize("text,inputs,outputs", SPECS)
+    def test_partial_matches_concrete(self, text, inputs, outputs, bound):
+        partial = solve_safety_game(
+            parse(text), inputs, outputs, bound=bound, exploration="partial"
+        )
+        concrete = solve_safety_game(
+            parse(text), inputs, outputs, bound=bound, exploration="concrete"
+        )
+        assert partial.realizable == concrete.realizable
+        assert partial.positions_explored == concrete.positions_explored
+        if partial.realizable:
+            assert partial.machine.transitions == concrete.machine.transitions
+            assert partial.machine.num_states == concrete.machine.num_states
+            assert partial.machine.describe() == concrete.machine.describe()
+            partial.machine.check_total()
+
+    def test_partial_enumeration_ignores_dont_care_outputs(self):
+        base = solve_safety_game(parse("G (r -> X g)"), ["r"], ["g"], bound=2)
+        wide = solve_safety_game(
+            parse("G (r -> X g)"),
+            ["r"],
+            ["g"] + [f"o{k}" for k in range(8)],
+            bound=2,
+        )
+        assert wide.stats["letters_enumerated"] == base.stats["letters_enumerated"]
+        concrete = solve_safety_game(
+            parse("G (r -> X g)"),
+            ["r"],
+            ["g"] + [f"o{k}" for k in range(8)],
+            bound=2,
+            exploration="concrete",
+        )
+        assert concrete.stats["letters_enumerated"] == 2 ** 8 * base.stats[
+            "letters_enumerated"
+        ]
+
+    def test_unknown_exploration_mode_rejected(self):
+        with pytest.raises(ValueError):
+            solve_safety_game(parse("G (r -> g)"), ["r"], ["g"], exploration="fast")
+
+    def test_case_study_components_equivalent(self):
+        """All three case studies: every explicitly checkable component's
+        safety game agrees between partial and concrete exploration."""
+        from repro.casestudies import (
+            MODE_SWITCHING_REQUIREMENTS,
+            application_requirements,
+            robot_requirements,
+        )
+        from repro.logic.ast import atoms, conj
+        from repro.translate import TranslationOptions, Translator
+
+        translator = Translator(options=TranslationOptions(next_as_x=False))
+        studies = [
+            ("cara", list(MODE_SWITCHING_REQUIREMENTS)[:10]),
+            ("telepromise", next(iter(sorted(application_requirements().items())))[1]),
+            ("robot", robot_requirements(2, 3)),
+        ]
+        compared = 0
+        for name, requirements in studies:
+            spec = translator.translate(requirements)
+            inputs = frozenset(spec.partition.inputs)
+            outputs = frozenset(spec.partition.outputs)
+            for component in decompose(list(spec.formulas)):
+                specification = conj(component.formulas)
+                if len(atoms(specification)) > 8:
+                    continue
+                local_inputs = sorted(component.variables & inputs)
+                local_outputs = sorted(component.variables & outputs)
+                partial = solve_safety_game(
+                    specification, local_inputs, local_outputs, bound=2
+                )
+                concrete = solve_safety_game(
+                    specification,
+                    local_inputs,
+                    local_outputs,
+                    bound=2,
+                    exploration="concrete",
+                )
+                assert partial.realizable == concrete.realizable, (name, component)
+                assert (
+                    partial.positions_explored == concrete.positions_explored
+                ), (name, component)
+                if partial.realizable:
+                    assert (
+                        partial.machine.transitions == concrete.machine.transitions
+                    ), (name, component)
+                compared += 1
+        assert compared >= 3  # every study contributed at least one component
+
+    def test_realizability_verdicts_equivalent(self):
+        """check_realizability with game_exploration="concrete" is the
+        pre-optimisation engine; verdicts must not change."""
+        for text, inputs, outputs, _ in TestEnginesAgree.CASES:
+            formulas = [parse(text)]
+            partial = check_realizability(
+                formulas, inputs, outputs,
+                limits=SynthesisLimits(use_obligations=False),
+            )
+            concrete = check_realizability(
+                formulas, inputs, outputs,
+                limits=SynthesisLimits(
+                    use_obligations=False, game_exploration="concrete"
+                ),
+            )
+            assert partial.verdict is concrete.verdict, text
+
+
+class TestSynthesisStats:
+    def test_game_work_recorded(self):
+        from repro.synthesis import synthesis_stats
+        from repro.synthesis.realizability import clear_caches
+
+        clear_caches()
+        check_realizability(
+            [parse("G (r -> X g)")], ["r"], ["g"],
+            limits=SynthesisLimits(use_obligations=False),
+        )
+        stats = synthesis_stats()
+        assert stats["game_solves"] >= 1
+        assert stats["game_positions"] > 0
+        assert stats["game_letters"] > 0
+
+    def test_sat_work_recorded(self):
+        from repro.synthesis import synthesis_stats
+        from repro.synthesis.realizability import clear_caches
+
+        clear_caches()
+        check_realizability(
+            [parse("G (r -> X g)")], ["r"], ["g"],
+            engine=Engine.BOUNDED_SAT,
+            limits=SynthesisLimits(use_obligations=False),
+        )
+        stats = synthesis_stats()
+        assert stats["sat_solves"] >= 1
+        assert stats["sat_propagations"] > 0
+        clear_caches()
+        assert synthesis_stats()["sat_solves"] == 0
+
+    def test_bounded_result_carries_solver_stats(self):
+        result = synthesize(parse("G (r -> X g)"), ["r"], ["g"], num_states=2)
+        assert result.solver_stats["propagations"] > 0
+        assert "clause_visits" in result.solver_stats
+
+
 class TestSafetyGameEngine:
     def test_bound_too_small_is_not_definitive(self):
         # G (r -> F g) with the response delayed needs a larger bound; at
@@ -139,6 +303,24 @@ class TestSafetyGameEngine:
             solve_safety_game(
                 parse("G (a -> X X X X b)"), ["a"], ["b"], bound=3, max_positions=2
             )
+
+    def test_position_cap_in_concrete_mode(self):
+        from repro.synthesis import StateSpaceLimit
+
+        with pytest.raises(StateSpaceLimit):
+            solve_safety_game(
+                parse("G (a -> X X X X b)"), ["a"], ["b"],
+                bound=3, max_positions=2, exploration="concrete",
+            )
+
+    def test_position_cap_degrades_to_unknown_verdict(self):
+        # The realizability driver must swallow StateSpaceLimit and report
+        # UNKNOWN instead of crashing when the cap rules the game out.
+        result = check_realizability(
+            [parse("G (a -> X X X X b)")], ["a"], ["b"],
+            limits=SynthesisLimits(use_obligations=False, max_game_positions=2),
+        )
+        assert result.verdict is Verdict.UNKNOWN
 
 
 class TestDualSynthesis:
