@@ -22,13 +22,13 @@ Quickstart::
 
 from .core.pipeline import ConsistencyReport, SpecCC, SpecCCConfig
 from .logic import parse as parse_ltl
-from .service import BatchChecker, SessionReport, SpecSession
+from .service import BatchChecker, SessionReport, SpecSession, WorkerPool
 from .synthesis.realizability import Engine, SynthesisLimits, Verdict
 from .translate.templates import TranslationOptions
 from .translate.timeabs import AbstractionMethod
 from .translate.translator import Translator
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AbstractionMethod",
@@ -43,6 +43,7 @@ __all__ = [
     "TranslationOptions",
     "Translator",
     "Verdict",
+    "WorkerPool",
     "parse_ltl",
     "__version__",
 ]

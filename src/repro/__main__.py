@@ -74,6 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve", help="run the JSON-lines service loop on stdin/stdout"
     )
+    serve.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="asyncio front end: multiplex concurrent sessions (tag requests "
+        "with 'session'; batch/check offloaded to the worker pool)",
+    )
     _add_config_arguments(serve)
 
     batch = sub.add_parser(
@@ -85,9 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--backend",
-        choices=["thread", "process"],
+        choices=["thread", "process", "process-fresh"],
         default="thread",
-        help="worker pool backend (default: thread)",
+        help="worker pool backend: thread (shared in-process caches), "
+        "process (persistent sharded worker pool, warm per-process caches) "
+        "or process-fresh (one cold tool per task; the pre-pool reference)",
     )
     batch.add_argument(
         "--output", type=Path, default=None,
@@ -127,9 +136,12 @@ def run_check(args: argparse.Namespace) -> int:
 
 
 def run_serve(args: argparse.Namespace) -> int:
-    from .service.server import serve
+    from .service.server import serve, serve_async
 
-    return serve(tool=SpecCC(_config_from(args)))
+    tool = SpecCC(_config_from(args))
+    if args.use_async:
+        return serve_async(tool=tool)
+    return serve(tool=tool)
 
 
 def run_batch(args: argparse.Namespace) -> int:

@@ -151,23 +151,43 @@ class SpecCC:
         (SAT propagations/conflicts/restarts/clause visits, safety-game
         positions/letter updates), so sessions, benchmarks and tests can
         assert reuse and engine work instead of guessing from timings.
+        The returned value is plain picklable data — worker-pool
+        processes ship it across the pipe unchanged.
         """
-        from ..automata.gpvw import translation_cache_size
-        from ..logic.ast import interned_count
-        from ..synthesis.realizability import component_cache_info, synthesis_stats
+        from ..synthesis.realizability import cache_snapshot
 
-        info = component_cache_info()
-        return {
-            "component_cache": {
-                "size": info.size,
-                "capacity": info.capacity,
-                "hits": info.hits,
-                "misses": info.misses,
-            },
-            "automaton_cache": {"size": translation_cache_size()},
-            "interned_nodes": interned_count(),
-            "synthesis": synthesis_stats(),
-        }
+        return cache_snapshot()
+
+    #: Sentences the :meth:`prewarm` default workload runs: a
+    #: condition/response pair sharing one component plus an antonym
+    #: negation, which together touch the parser, the semantic analysis,
+    #: time abstraction, partitioning, GPVW translation and both verdict
+    #: directions of the realizability stack.
+    PREWARM_SENTENCES: Tuple[str, ...] = (
+        "If the sensor is active, the valve is opened.",
+        "If the sensor is normal, the valve is not opened.",
+    )
+
+    def prewarm(self, sentences: Optional[Sequence[str]] = None) -> dict:
+        """Warm a fresh process before it serves traffic.
+
+        Worker-pool initializers call this once per spawned process: the
+        first real request then pays neither the lazy imports (grammar
+        tables, automata translation, synthesis engines) nor an entirely
+        cold formula pool.  The workload is deliberately tiny — checking
+        *sentences* (default :attr:`PREWARM_SENTENCES`) as one throwaway
+        document — and its cache entries are semantically transparent,
+        so prewarming can never change a later verdict.  Returns the
+        post-warm :meth:`cache_stats` snapshot.
+        """
+        workload = list(sentences) if sentences is not None else list(
+            self.PREWARM_SENTENCES
+        )
+        if workload:
+            self.check(
+                [(f"W{index}", text) for index, text in enumerate(workload, 1)]
+            )
+        return self.cache_stats()
 
     # ------------------------------------------------------------- pipeline
     def check(

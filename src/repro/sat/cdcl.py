@@ -10,6 +10,10 @@ bit-blasting"):
 * first-UIP conflict analysis with self-subsumption clause minimisation,
 * exponential VSIDS activity with decay and phase saving,
 * Luby-sequence restarts,
+* learnt-clause database reduction scored by literal-block distance
+  (Glucose-style: the LBD is tagged at learn time; every
+  ``reduce_interval`` conflicts the learnt DB is halved, keeping binary
+  clauses, "glue" clauses with LBD <= 2 and clauses locked as reasons),
 * incremental solving under assumptions with implication-graph failed
   assumption cores.
 
@@ -70,8 +74,11 @@ class CDCLSolver:
     ``propagation`` selects the unit-propagation scheme: ``"watch"`` (the
     default two-watched-literal lists) or ``"scan"`` (the full-clause
     re-scan reference used by the differential tests and benchmarks).
-    ``restart_interval`` scales the Luby restart sequence and ``var_decay``
-    is the per-conflict VSIDS decay factor.
+    ``restart_interval`` scales the Luby restart sequence, ``var_decay``
+    is the per-conflict VSIDS decay factor, and ``reduce_interval`` is
+    the number of conflicts between learnt-database reductions (0
+    disables reduction; deleting learnt clauses is always sound, so the
+    verdict never depends on this knob).
     """
 
     def __init__(
@@ -80,14 +87,19 @@ class CDCLSolver:
         propagation: str = "watch",
         restart_interval: int = 100,
         var_decay: float = 0.95,
+        reduce_interval: int = 2000,
     ) -> None:
         if propagation not in ("watch", "scan"):
             raise ValueError(f"unknown propagation scheme: {propagation!r}")
+        if reduce_interval < 0:
+            raise ValueError("reduce_interval must be >= 0")
         self.propagation = propagation
         self.num_vars = cnf.num_vars
         # clause database: each clause is a list of literals; in watch mode
-        # indices 0/1 are the watched literals.
-        self.clauses: List[List[Lit]] = []
+        # indices 0/1 are the watched literals.  Slots of learnt clauses
+        # deleted by database reduction are tombstoned with None (clause
+        # indices stored in watchers/reasons must stay stable).
+        self.clauses: List[Optional[List[Lit]]] = []
         # Per-literal index (indexed by _code), allocated for the selected
         # scheme only: watch mode keeps (clause index, blocker literal)
         # watcher pairs, scan mode keeps plain occurrence lists.
@@ -118,6 +130,14 @@ class CDCLSolver:
         self.restarts = 0
         self.clause_visits = 0
         self.learnt_clauses = 0
+        # Learnt-database reduction state: indices of live learnt clauses,
+        # their LBD scores (tagged at learn time), and the conflict count
+        # that triggers the next halving.
+        self.reduce_interval = reduce_interval
+        self.learnt: List[int] = []
+        self.lbd: Dict[int, int] = {}
+        self.learnt_dropped = 0
+        self.next_reduce = reduce_interval
         for clause in cnf.clauses:
             self.add_clause(clause)
         self.heap = [(0.0, var) for var in range(1, self.num_vars + 1)]
@@ -170,7 +190,9 @@ class CDCLSolver:
             "restarts": self.restarts,
             "clause_visits": self.clause_visits,
             "learnt_clauses": self.learnt_clauses,
-            "clauses": len(self.clauses),
+            "learnt_kept": len(self.learnt),
+            "learnt_dropped": self.learnt_dropped,
+            "clauses": sum(1 for clause in self.clauses if clause is not None),
             "vars": self.num_vars,
         }
 
@@ -197,14 +219,22 @@ class CDCLSolver:
                     self.ok = False
                     return self._unsat_result([])
                 learnt, backjump = self._analyze(conflict)
+                # LBD = distinct decision levels in the learnt clause; must
+                # be read before backtracking unassigns the literals.
+                lbd = len({self.level[abs(lit)] for lit in learnt})
                 self._backtrack(backjump)
                 self.learnt_clauses += 1
                 if len(learnt) == 1:
                     self._enqueue(learnt[0], None)
                 else:
                     index = self._attach(learnt)
+                    self.learnt.append(index)
+                    self.lbd[index] = lbd
                     self._enqueue(learnt[0], index)
                 self.var_inc *= self.var_decay
+                if self.reduce_interval and self.conflicts >= self.next_reduce:
+                    self._reduce_learnts()
+                    self.next_reduce = self.conflicts + self.reduce_interval
                 continue
 
             if conflicts_since_restart >= self.restart_interval * _luby(luby_index):
@@ -284,6 +314,55 @@ class CDCLSolver:
             for lit in clause:
                 self.occurs[_code(lit)].append(index)
         return index
+
+    def _reduce_learnts(self) -> None:
+        """Halve the learnt-clause database, keeping the glue.
+
+        Binary clauses, "glue" clauses (LBD <= 2) and clauses locked as
+        the reason of a literal on the current trail are always kept; the
+        remaining candidates are ranked by (LBD, size, index) and the
+        worse half is dropped.  Learnt clauses are implied by the input
+        CNF, so deletion never changes the verdict — it only bounds the
+        watcher lists the propagation loop has to traverse.  The ranking
+        is deterministic, so identical inputs still yield identical
+        models.
+        """
+        locked = {
+            self.reason[abs(lit)]
+            for lit in self.trail
+            if self.reason[abs(lit)] is not None
+        }
+        candidates = [
+            index
+            for index in self.learnt
+            if index not in locked
+            and self.lbd[index] > 2
+            and len(self.clauses[index]) > 2
+        ]
+        if len(candidates) < 2:
+            return
+        candidates.sort(
+            key=lambda index: (self.lbd[index], len(self.clauses[index]), index)
+        )
+        drop = set(candidates[len(candidates) // 2 :])
+        for index in drop:
+            self.clauses[index] = None
+            del self.lbd[index]
+        self.learnt = [index for index in self.learnt if index not in drop]
+        self.learnt_dropped += len(drop)
+        # Detach the tombstoned clauses from the propagation index.
+        if self.propagation == "watch":
+            for watch_list in self.watches:
+                if watch_list:
+                    watch_list[:] = [
+                        pair for pair in watch_list if pair[0] not in drop
+                    ]
+        else:
+            for occur_list in self.occurs:
+                if occur_list:
+                    occur_list[:] = [
+                        index for index in occur_list if index not in drop
+                    ]
 
     def _enqueue(self, lit: Lit, reason: Optional[int]) -> bool:
         value = self._value(lit)

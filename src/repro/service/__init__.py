@@ -12,25 +12,37 @@ hash-consed core and the process-wide component/automaton caches:
 * :class:`BatchChecker` — concurrent checking of many documents (and of
   the independent components within each) with deterministic,
   sequential-identical verdicts.
-* :func:`serve` — a JSON-lines request loop over stdio behind
-  ``python -m repro serve`` / ``python -m repro batch``.
+* :class:`WorkerPool` — the persistent sharded process pool behind
+  ``backend="process"``: workers spawned once, per-process caches warm
+  across tasks, documents routed by content signature to the shard that
+  already analysed them.
+* :func:`serve` / :func:`serve_async` — JSON-lines request loops over
+  stdio behind ``python -m repro serve [--async]`` / ``python -m repro
+  batch``; the async form multiplexes many concurrent client sessions.
 
-All three speak the one machine-readable report format in
+All of them speak the one machine-readable report format in
 :mod:`repro.service.reportjson`, shared with ``python -m repro check
 --json``.
 """
 
 from .batch import BatchChecker, BatchResult
+from .pool import WorkerPool, document_signature, shared_pool, shutdown_shared_pools
 from .reportjson import report_to_dict
 from .session import SessionDelta, SessionReport, SpecSession
-from .server import serve
+from .server import AsyncSpecServer, serve, serve_async
 
 __all__ = [
+    "AsyncSpecServer",
     "BatchChecker",
     "BatchResult",
     "SessionDelta",
     "SessionReport",
     "SpecSession",
+    "WorkerPool",
+    "document_signature",
     "report_to_dict",
     "serve",
+    "serve_async",
+    "shared_pool",
+    "shutdown_shared_pools",
 ]

@@ -24,9 +24,15 @@ no phase mutates per-tool state.  The canonical JSON report
 
 Threads share the process-wide caches (maximum reuse across documents)
 but are GIL-bound; ``backend="process"`` trades cache sharing for real
-CPU parallelism — workers rebuild the tool per process (config, antonym
-dictionary and signs are shipped over) and return the canonical report
-dictionaries (interned formulas must not cross process boundaries).
+CPU parallelism by dispatching documents onto the persistent sharded
+:class:`~repro.service.pool.WorkerPool` (workers are spawned once, keep
+their caches warm across tasks, and repeated documents route to the
+shard that already analysed them).  The pre-pool behaviour — a fresh
+``ProcessPoolExecutor`` task that rebuilds the tool per document —
+survives as ``backend="process-fresh"`` for benchmarking the cold-start
+regression the pool exists to fix.  Either way workers return canonical
+report dictionaries (interned formulas must not cross process
+boundaries).
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 from ..core.pipeline import ConsistencyReport, SpecCC, SpecCCConfig
 from ..synthesis.modular import decompose
 from ..translate.translator import SpecificationTranslation, Translator
+from .pool import WorkerPool, shared_pool
 from .reportjson import report_to_dict
 
 #: A work item: a name plus either a plain-text document or explicit
@@ -86,6 +93,8 @@ def _process_worker(setup: tuple, item: Tuple[str, Document]) -> dict:
 class BatchChecker:
     """Check many documents concurrently with deterministic results."""
 
+    BACKENDS = ("thread", "process", "process-fresh")
+
     def __init__(
         self,
         config: SpecCCConfig = SpecCCConfig(),
@@ -93,11 +102,18 @@ class BatchChecker:
         backend: str = "thread",
         warm_components: bool = True,
         tool: Optional[SpecCC] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> None:
         """*tool* overrides *config*: pass it to check with a non-default
         antonym dictionary or signs (the serve loop does, so its batch
-        requests judge documents exactly like its session checks)."""
-        if backend not in ("thread", "process"):
+        requests judge documents exactly like its session checks).
+
+        ``backend="process"`` draws a persistent pool with *workers*
+        shards from the process-wide :func:`~repro.service.pool.shared_pool`
+        registry; pass *pool* to pin a specific :class:`WorkerPool`
+        instead (tests do, to control pool lifetime and shard counts).
+        """
+        if backend not in self.BACKENDS:
             raise ValueError(f"unknown backend {backend!r}")
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -106,6 +122,7 @@ class BatchChecker:
         self.workers = workers
         self.backend = backend
         self.warm_components = warm_components
+        self.pool = pool
 
     # ------------------------------------------------------------ running
     def check_documents(
@@ -116,6 +133,8 @@ class BatchChecker:
         if not items:
             return []
         if self.backend == "process":
+            return self._run_pool(items)
+        if self.backend == "process-fresh":
             return self._run_processes(items)
         if self.workers == 1:
             results = []
@@ -160,7 +179,16 @@ class BatchChecker:
             for (name, _), report in zip(items, reports)
         ]
 
+    def _run_pool(self, items: List[Tuple[str, Document]]) -> List[BatchResult]:
+        """Dispatch onto the persistent sharded pool (warm worker caches)."""
+        pool = self.pool
+        if pool is None:
+            pool = shared_pool(tool=self.tool, shards=self.workers)
+        tasks = pool.check_documents(items)
+        return [BatchResult(task.name, task.data) for task in tasks]
+
     def _run_processes(self, items: List[Tuple[str, Document]]) -> List[BatchResult]:
+        """The pre-pool reference: one fresh tool per task, stone-cold."""
         translator = self.tool.translator
         setup = (self.config, translator.dictionary, translator.signs)
         with ProcessPoolExecutor(max_workers=self.workers) as pool:

@@ -1,0 +1,369 @@
+"""Persistent sharded worker pool with warm per-process caches.
+
+``ProcessPoolExecutor`` as PR 2 used it rebuilt the :class:`repro.SpecCC`
+tool *per task*, so every document paid the cold-start price — imports,
+grammar tables, an empty formula pool, an empty component-outcome LRU —
+and ``BENCH_service.json`` showed the process backend gaining nothing
+over one thread.  :class:`WorkerPool` fixes both halves of that:
+
+* **Persistence** — each shard is one long-lived worker process, spawned
+  once with an initializer that constructs the tool and runs
+  :meth:`repro.SpecCC.prewarm`.  Interning pools, translation caches and
+  the component-outcome LRU stay warm across tasks, so steady-state
+  throughput is governed by the caches, not by process startup.
+* **Sharding** — tasks are routed by a stable *signature* of the
+  document (a content hash: identical text ⇒ identical interned formulas
+  ⇒ identical component cache keys, so the signature is a cheap proxy
+  for affinity hashing over those keys).  A repeated document or
+  component therefore lands on the worker that already analysed it and
+  is served from that worker's LRU instead of recomputing in a cold
+  sibling.
+
+Determinism is unchanged from the thread backend: workers run the
+ordinary pipeline, caches are semantically transparent, and canonical
+reports (``timings=False``) are byte-identical to a ``workers=1`` run no
+matter how many shards route the traffic — asserted byte-for-byte in
+``tests/test_pool.py``.
+
+Observability: every task ships a per-task component-cache hit/miss
+delta back with its report (see
+:func:`repro.synthesis.realizability.cache_snapshot` — plain picklable
+dicts), and the parent aggregates them with shard-routing counters in
+:meth:`WorkerPool.stats`; :meth:`WorkerPool.worker_snapshots` fetches
+each worker's full cache snapshot on demand.
+
+``backend="process"`` of :class:`~repro.service.batch.BatchChecker` and
+the async serve front end both draw their pool from the module-level
+:func:`shared_pool` registry, so one set of warm workers serves every
+batch request in the process.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import pickle
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+from ..core.pipeline import SpecCC, SpecCCConfig
+
+#: Mirrors :data:`repro.service.batch.Document` (no import: batch.py
+#: imports this module).
+Document = Union[str, Sequence[Tuple[str, str]]]
+
+#: Bound on the signature→shard bookkeeping map (counters only — routing
+#: itself is stateless hashing and never forgets).
+_SIGNATURE_MAP_LIMIT = 65536
+
+
+def document_signature(document: Document) -> str:
+    """Stable content signature of a document (any accepted shape).
+
+    Identical content yields identical interned formulas and therefore
+    identical component cache keys, so routing by this signature is
+    affinity hashing over the component cache without translating in the
+    parent.  Stable across processes and runs (``PYTHONHASHSEED``-free).
+    """
+    if isinstance(document, str):
+        payload = "text\x00" + document
+    else:
+        payload = "pairs\x00" + "\x00".join(
+            f"{identifier}\x1f{sentence}" for identifier, sentence in document
+        )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=8).hexdigest()
+
+
+class PoolTask(NamedTuple):
+    """One completed pool task: canonical report plus attribution."""
+
+    name: str
+    data: dict  # canonical report (reportjson, timings excluded)
+    shard: int
+    cache_hits: int  # component-outcome hits inside the worker, this task
+    cache_misses: int
+
+
+# ---------------------------------------------------------------- workers
+# One tool per worker process, built exactly once by the initializer and
+# reused for every task the shard ever receives — this is the whole point.
+_WORKER_TOOL: Optional[SpecCC] = None
+
+
+def _worker_init(setup: tuple, prewarm: bool) -> None:
+    global _WORKER_TOOL
+    config, dictionary, signs = setup
+    _WORKER_TOOL = SpecCC(config, dictionary=dictionary, signs=signs)
+    if prewarm:
+        _WORKER_TOOL.prewarm()
+
+
+def _worker_check(item: Tuple[str, Document]) -> Tuple[dict, Dict[str, int]]:
+    """Check one document on the resident tool; report + hit/miss delta."""
+    from ..synthesis.realizability import component_cache_info
+    from .batch import _check_document
+    from .reportjson import report_to_dict
+
+    tool = _WORKER_TOOL
+    if tool is None:  # pragma: no cover - initializer always runs first
+        raise RuntimeError("worker process was not initialized")
+    before = component_cache_info()
+    report = _check_document(tool, item[1])
+    after = component_cache_info()
+    return (
+        report_to_dict(report, timings=False),
+        {"hits": after.hits - before.hits, "misses": after.misses - before.misses},
+    )
+
+
+def _worker_snapshot(_: object = None) -> dict:
+    from ..synthesis.realizability import cache_snapshot
+
+    return cache_snapshot()
+
+
+# ------------------------------------------------------------------- pool
+class WorkerPool:
+    """Long-lived sharded process pool for document checking.
+
+    Each of the *shards* workers is a separate single-process executor,
+    which is what makes the affinity guarantee hold: a task routed to
+    shard *k* always runs in shard *k*'s (one) process, over that
+    process's warm caches.  Use as a context manager or call
+    :meth:`shutdown`; pools obtained from :func:`shared_pool` are shut
+    down at interpreter exit.
+    """
+
+    def __init__(
+        self,
+        config: SpecCCConfig = SpecCCConfig(),
+        shards: int = 4,
+        prewarm: bool = True,
+        tool: Optional[SpecCC] = None,
+    ) -> None:
+        """*tool* overrides *config* (mirrors ``BatchChecker``): the
+        worker tools are rebuilt from its config, antonym dictionary and
+        signs, so pool verdicts match the supplying session's."""
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        template = tool if tool is not None else SpecCC(config)
+        self.config = template.config
+        self.shards = shards
+        self.prewarm = prewarm
+        self._setup = (
+            self.config,
+            template.translator.dictionary,
+            template.translator.signs,
+        )
+        self._executors: List[Optional[ProcessPoolExecutor]] = [None] * shards
+        self._lock = threading.Lock()
+        self._closed = False
+        self._startup_seconds: Optional[float] = None
+        # Counters (all guarded by _lock; callbacks fire on executor threads).
+        self._tasks = 0
+        self._failures = 0
+        self._per_shard = [0] * shards
+        self._worker_hits = 0
+        self._worker_misses = 0
+        self._routed: "Dict[str, int]" = {}  # signature -> shard (bounded)
+        self._affinity_repeats = 0
+
+    # ---------------------------------------------------------- lifecycle
+    def ensure_started(self) -> float:
+        """Spawn and initialize every worker; returns the startup seconds.
+
+        Idempotent.  Separated from construction so benchmarks can
+        charge pool startup to its own line instead of silently folding
+        it into the first batch's throughput.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("pool is shut down")
+            if self._startup_seconds is not None:
+                return self._startup_seconds
+            start = time.perf_counter()
+            for shard in range(self.shards):
+                self._executors[shard] = ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=_worker_init,
+                    initargs=(self._setup, self.prewarm),
+                )
+            # Force the spawn + initializer to actually complete.
+            pings = [
+                executor.submit(_worker_snapshot) for executor in self._executors
+            ]
+            for ping in pings:
+                ping.result()
+            self._startup_seconds = time.perf_counter() - start
+            return self._startup_seconds
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            executors = [e for e in self._executors if e is not None]
+            self._executors = [None] * self.shards
+        for executor in executors:
+            executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        self.ensure_started()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------ routing
+    def shard_of(self, document: Document) -> int:
+        """The shard *document* routes to (pure function of its content)."""
+        return int(document_signature(document), 16) % self.shards
+
+    def _route(self, document: Document) -> int:
+        signature = document_signature(document)
+        shard = int(signature, 16) % self.shards
+        with self._lock:
+            if signature in self._routed:
+                self._affinity_repeats += 1
+            else:
+                if len(self._routed) >= _SIGNATURE_MAP_LIMIT:
+                    self._routed.clear()  # counters only; routing unaffected
+                self._routed[signature] = shard
+            self._tasks += 1
+            self._per_shard[shard] += 1
+        return shard
+
+    # ---------------------------------------------------------- submitting
+    def submit(self, name: str, document: Document) -> "Future[PoolTask]":
+        """Route one document to its shard; resolves to a :class:`PoolTask`."""
+        self.ensure_started()
+        shard = self._route(document)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("pool is shut down")
+            executor = self._executors[shard]
+        inner = executor.submit(_worker_check, (name, document))
+        outer: "Future[PoolTask]" = Future()
+
+        def _done(finished: Future) -> None:
+            try:
+                data, delta = finished.result()
+            except BaseException as error:  # noqa: BLE001 - forwarded
+                with self._lock:
+                    self._failures += 1
+                outer.set_exception(error)
+                return
+            with self._lock:
+                self._worker_hits += delta["hits"]
+                self._worker_misses += delta["misses"]
+            outer.set_result(
+                PoolTask(name, data, shard, delta["hits"], delta["misses"])
+            )
+
+        inner.add_done_callback(_done)
+        return outer
+
+    def check_documents(
+        self, documents: Sequence[Tuple[str, Document]]
+    ) -> List[PoolTask]:
+        """Check ``(name, document)`` items; results come back in order."""
+        futures = [self.submit(name, document) for name, document in documents]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------- observability
+    def worker_snapshots(self) -> List[dict]:
+        """Each shard's full cache snapshot (one round-trip per worker)."""
+        self.ensure_started()
+        with self._lock:
+            executors = list(self._executors)
+        futures = [executor.submit(_worker_snapshot) for executor in executors]
+        return [future.result() for future in futures]
+
+    def stats(self) -> dict:
+        """Shard-routing and worker cache counters, ``cache_stats()``-style.
+
+        ``worker_cache`` aggregates the per-task hit/miss deltas the
+        workers shipped back; ``affinity_repeats`` counts submissions
+        whose signature had been routed before (each one is a task that
+        landed on warm state by construction).
+        """
+        with self._lock:
+            hits, misses = self._worker_hits, self._worker_misses
+            total = hits + misses
+            return {
+                "shards": self.shards,
+                "started": self._startup_seconds is not None,
+                "startup_seconds": self._startup_seconds,
+                "tasks": self._tasks,
+                "failures": self._failures,
+                "per_shard": list(self._per_shard),
+                "distinct_signatures": len(self._routed),
+                "affinity_repeats": self._affinity_repeats,
+                "worker_cache": {
+                    "hits": hits,
+                    "misses": misses,
+                    "hit_rate": round(hits / total, 4) if total else None,
+                },
+            }
+
+
+# --------------------------------------------------------- shared registry
+# One pool per (tool setup, shard count) per process: BatchChecker's
+# process backend and the async serve front end both call shared_pool(),
+# so every batch request in a daemon reuses the same warm workers.
+_shared_pools: Dict[Tuple[bytes, int], WorkerPool] = {}
+_shared_lock = threading.Lock()
+
+
+def _setup_key(tool: SpecCC) -> bytes:
+    """Canonical bytes identifying a tool's worker-relevant setup."""
+    dictionary = tool.translator.dictionary
+    canonical = (
+        tool.config,
+        tuple(
+            (word, tuple(sorted(antonyms)))
+            for word, antonyms in sorted(dictionary.pairs.items())
+        ),
+        tuple(sorted(dictionary.positive_forms)),
+        tuple(tool.translator.signs) if tool.translator.signs is not None else None,
+    )
+    return pickle.dumps(canonical)
+
+
+def shared_pool(
+    tool: Optional[SpecCC] = None,
+    config: SpecCCConfig = SpecCCConfig(),
+    shards: int = 4,
+    prewarm: bool = True,
+) -> WorkerPool:
+    """The process-wide pool for this tool setup, created on first use."""
+    template = tool if tool is not None else SpecCC(config)
+    key = (_setup_key(template), shards)
+    with _shared_lock:
+        pool = _shared_pools.get(key)
+        if pool is None:
+            pool = WorkerPool(shards=shards, prewarm=prewarm, tool=template)
+            _shared_pools[key] = pool
+        return pool
+
+
+def shared_pool_stats() -> List[dict]:
+    """`stats()` of every registry pool (the serve ``stats`` op surfaces
+    these so operators can watch shard routing and worker hit rates)."""
+    with _shared_lock:
+        pools = list(_shared_pools.values())
+    return [pool.stats() for pool in pools]
+
+
+def shutdown_shared_pools(wait: bool = True) -> None:
+    """Shut down every registry pool (tests; also runs at exit)."""
+    with _shared_lock:
+        pools = list(_shared_pools.values())
+        _shared_pools.clear()
+    for pool in pools:
+        pool.shutdown(wait=wait)
+
+
+atexit.register(shutdown_shared_pools)

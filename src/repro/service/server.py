@@ -23,11 +23,26 @@ Protocol (request ``op`` → response fields beyond ``{"ok": true, "op":
   ``shutdown`` — acknowledge and exit the loop.
 
 Malformed requests produce ``{"ok": false, "error": "..."}`` and the loop
-continues: a broken client line must not take the daemon down.
+continues: a broken client line must not take the daemon down — this
+holds on both the sync and the async paths.
+
+**Async front end** (``python -m repro serve --async``): the same
+protocol over an asyncio event loop that multiplexes *many* concurrent
+clients/sessions on one stream.  Every request may carry ``"session":
+"<name>"`` (default ``"default"``) selecting an isolated
+:class:`SpecSession`, and an optional ``"rid"`` correlation id; both are
+echoed on the response, which is required because responses from
+different sessions may interleave.  Requests within one session are
+processed strictly in arrival order (per-session locks), so per-session
+responses are identical to a sequential run; blocking ``check`` ops run
+on an executor thread and ``batch`` ops default to the persistent
+sharded :mod:`~repro.service.pool` workers, so long analyses never stall
+interactive ``add``/``update`` edits on other sessions.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 import sys
 from typing import IO, Optional
@@ -65,9 +80,14 @@ def _delta_to_dict(report: SessionReport) -> dict:
 class _Server:
     """Dispatches one session's worth of requests."""
 
-    def __init__(self, tool: Optional[SpecCC] = None) -> None:
+    def __init__(
+        self,
+        tool: Optional[SpecCC] = None,
+        default_batch_backend: str = "thread",
+    ) -> None:
         self.tool = tool if tool is not None else SpecCC()
         self.session = SpecSession(self.tool)
+        self.default_batch_backend = default_batch_backend
         self.running = True
 
     def handle(self, request: dict) -> dict:
@@ -113,6 +133,12 @@ class _Server:
             "seconds": session_report.seconds if timings else None,
         }
 
+    #: Upper bound on client-requested batch worker/shard counts.  The
+    #: process backend keeps one persistent pool per distinct shard count
+    #: alive for the daemon's lifetime, so the request field must not be
+    #: able to spawn workers without bound.
+    MAX_BATCH_WORKERS = 8
+
     def _op_batch(self, request: dict) -> dict:
         documents = self._require(request, "documents")
         items = []
@@ -133,8 +159,8 @@ class _Server:
         # the same dictionary/signs as session checks.
         checker = BatchChecker(
             tool=self.tool,
-            workers=int(request.get("workers", 4)),
-            backend=str(request.get("backend", "thread")),
+            workers=max(1, min(int(request.get("workers", 4)), self.MAX_BATCH_WORKERS)),
+            backend=str(request.get("backend", self.default_batch_backend)),
         )
         results = checker.check_documents(items)
         return {
@@ -144,7 +170,13 @@ class _Server:
         }
 
     def _op_stats(self, request: dict) -> dict:
-        return {"cache": self.tool.cache_stats(), "size": len(self.session)}
+        from .pool import shared_pool_stats
+
+        return {
+            "cache": self.tool.cache_stats(),
+            "size": len(self.session),
+            "pools": shared_pool_stats(),
+        }
 
     def _op_reset(self, request: dict) -> dict:
         self.session = SpecSession(self.tool)
@@ -153,6 +185,201 @@ class _Server:
     def _op_shutdown(self, request: dict) -> dict:
         self.running = False
         return {}
+
+
+# ------------------------------------------------------------------- async
+#: Response fields that legitimately differ between a concurrent async
+#: run and a dedicated sequential one: correlation echoes, wall-clock
+#: seconds, and observability counters concurrent sessions bleed into
+#: (see :class:`~repro.service.session.SessionDelta`).  Anything
+#: comparing async responses against sequential references (the service
+#: benchmark and the test suite both do) strips exactly these — one
+#: list, so the two comparisons cannot drift apart.
+VOLATILE_RESPONSE_FIELDS = ("session", "rid", "seconds", "pools", "sessions")
+VOLATILE_DELTA_FIELDS = ("cache_hits", "cache_misses")
+
+
+def normalize_response(response: dict) -> dict:
+    """Copy of *response* with the volatile fields stripped.
+
+    What remains — reports, verdicts, deltas, revisions — is a pure
+    function of the session's request sequence, so it must compare equal
+    (byte-for-byte once serialized with ``sort_keys``) against a
+    dedicated sequential ``serve`` run.
+    """
+    response = dict(response)
+    for key in VOLATILE_RESPONSE_FIELDS:
+        response.pop(key, None)
+    delta = response.get("delta")
+    if isinstance(delta, dict):
+        response["delta"] = {
+            key: value
+            for key, value in delta.items()
+            if key not in VOLATILE_DELTA_FIELDS
+        }
+    return response
+
+
+class AsyncSpecServer:
+    """Multiplexes many concurrent client sessions over one event loop.
+
+    Each ``"session"`` name owns an isolated :class:`_Server` (its own
+    :class:`SpecSession`) sharing the process-wide tool and caches, plus
+    an :class:`asyncio.Lock` that serialises that session's requests in
+    arrival order — so every session observes exactly the semantics of a
+    dedicated sequential ``serve`` loop, while different sessions make
+    progress concurrently.  Blocking ``check``/``batch`` work runs on an
+    executor thread (``batch`` defaults to ``backend="process"``, i.e.
+    the persistent sharded worker pool), keeping the loop free for
+    interactive edits.
+    """
+
+    #: Ops that can run long: handled off-loop so one session's analysis
+    #: never blocks another session's edits.  ``stats`` is here because it
+    #: reads ``pool.stats()``, whose lock a concurrent batch may hold for
+    #: the whole worker spawn while the pool starts up.
+    OFFLOADED_OPS = frozenset({"check", "batch", "stats"})
+    #: The protocol surface; requests are validated against this *before*
+    #: a session is created, so invalid traffic cannot allocate state.
+    VALID_OPS = frozenset(
+        name[len("_op_"):] for name in vars(_Server) if name.startswith("_op_")
+    )
+
+    def __init__(
+        self,
+        tool: Optional[SpecCC] = None,
+        default_batch_backend: str = "process",
+        max_sessions: int = 256,
+    ) -> None:
+        """*max_sessions* bounds the number of concurrently held client
+        sessions: each named session keeps a :class:`SpecSession` alive
+        for the daemon's lifetime, so client-chosen names must not be
+        able to grow memory without bound."""
+        self.tool = tool if tool is not None else SpecCC()
+        self.default_batch_backend = default_batch_backend
+        self.max_sessions = max_sessions
+        self._sessions: dict = {}
+        self._locks: dict = {}
+        self.running = True
+
+    @property
+    def session_names(self) -> tuple:
+        return tuple(self._sessions)
+
+    def _session(self, name: str):
+        server = self._sessions.get(name)
+        if server is None:
+            if len(self._sessions) >= self.max_sessions:
+                raise ValueError(
+                    f"too many sessions (max {self.max_sessions}); "
+                    "reuse or reset an existing session"
+                )
+            server = _Server(
+                self.tool, default_batch_backend=self.default_batch_backend
+            )
+            self._sessions[name] = server
+            self._locks[name] = asyncio.Lock()
+        return server, self._locks[name]
+
+    async def handle_request(self, request) -> dict:
+        """One request dict in, one response dict out; never raises."""
+        base: dict = {}
+        if isinstance(request, dict):
+            if "rid" in request:
+                base["rid"] = request["rid"]
+            base["session"] = str(request.get("session", "default"))
+        try:
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            op = request.get("op")
+            if op not in self.VALID_OPS:
+                # Rejected before _session(): invalid traffic must not
+                # allocate per-session state.
+                raise ValueError(f"unknown op {op!r}")
+            server, lock = self._session(base["session"])
+            async with lock:  # in-order, one at a time per session
+                if op in self.OFFLOADED_OPS:
+                    loop = asyncio.get_running_loop()
+                    result = await loop.run_in_executor(
+                        None, server.handle, request
+                    )
+                else:
+                    result = server.handle(request)
+            if not server.running:
+                self.running = False  # shutdown is global, as in sync serve
+            response = {"ok": True, "op": op}
+            response.update(base)
+            response.update(result)
+            if op == "stats":
+                response["sessions"] = len(self._sessions)
+            return response
+        except Exception as error:  # noqa: BLE001 - the daemon must survive
+            response = {"ok": False, "error": str(error)}
+            response.update(base)
+            return response
+
+async def serve_async_loop(
+    stdin: IO[str],
+    stdout: IO[str],
+    tool: Optional[SpecCC] = None,
+    server: Optional[AsyncSpecServer] = None,
+) -> int:
+    """The asyncio JSON-lines loop: read lines, handle concurrently.
+
+    Reads happen on an executor thread (stdin is a blocking file), every
+    non-shutdown line becomes its own task, and a write lock keeps
+    response lines atomic.  ``shutdown`` drains all in-flight requests,
+    acknowledges, and ends the loop.
+    """
+    server = server if server is not None else AsyncSpecServer(tool)
+    loop = asyncio.get_running_loop()
+    write_lock = asyncio.Lock()
+    pending: set = set()
+
+    async def write(response: dict) -> None:
+        async with write_lock:
+            stdout.write(json.dumps(response, sort_keys=True) + "\n")
+            stdout.flush()
+
+    async def handle(request) -> None:
+        await write(await server.handle_request(request))
+
+    while server.running:
+        line = await loop.run_in_executor(None, stdin.readline)
+        if not line:
+            break
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+        except Exception as error:  # noqa: BLE001 - the daemon must survive
+            await write({"ok": False, "error": f"malformed JSON: {error}"})
+            continue
+        if isinstance(request, dict) and request.get("op") == "shutdown":
+            # Global shutdown: everything already accepted finishes first.
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+                pending.clear()
+            await handle(request)
+            break
+        task = asyncio.create_task(handle(request))
+        pending.add(task)
+        task.add_done_callback(pending.discard)
+    if pending:
+        await asyncio.gather(*pending, return_exceptions=True)
+    return 0
+
+
+def serve_async(
+    stdin: Optional[IO[str]] = None,
+    stdout: Optional[IO[str]] = None,
+    tool: Optional[SpecCC] = None,
+) -> int:
+    """Blocking entry point of the async front end (``serve --async``)."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    return asyncio.run(serve_async_loop(stdin, stdout, tool))
 
 
 def serve(

@@ -232,6 +232,31 @@ def component_cache_info() -> CacheInfo:
         )
 
 
+def cache_snapshot() -> dict:
+    """One picklable snapshot of every cache/work counter in this process.
+
+    Plain dicts of ints only — worker-pool processes ship these back to
+    the parent over the pipe, and the parent diffs two snapshots to
+    attribute hits/misses to one task.  The shape is exactly what
+    :meth:`repro.SpecCC.cache_stats` returns.
+    """
+    from ..automata.gpvw import translation_cache_size
+    from ..logic.ast import interned_count
+
+    info = component_cache_info()
+    return {
+        "component_cache": {
+            "size": info.size,
+            "capacity": info.capacity,
+            "hits": info.hits,
+            "misses": info.misses,
+        },
+        "automaton_cache": {"size": translation_cache_size()},
+        "interned_nodes": interned_count(),
+        "synthesis": synthesis_stats(),
+    }
+
+
 def check_realizability(
     formulas: Sequence[Formula],
     inputs: Sequence[str],

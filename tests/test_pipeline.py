@@ -316,3 +316,39 @@ class TestTableIVerdicts:
         for robots, rooms in [(1, 4), (1, 9)]:
             report = tool.check(robot_requirements(robots, rooms))
             assert report.verdict is Verdict.REALIZABLE, (robots, rooms)
+
+
+class TestPrewarm:
+    """The worker-pool initializer hook: cheap, transparent, observable."""
+
+    def test_prewarm_populates_caches(self):
+        SpecCC.clear_caches()
+        stats = SpecCC().prewarm()
+        assert stats["component_cache"]["misses"] >= 1
+        assert stats["automaton_cache"]["size"] >= 0
+        assert stats["interned_nodes"] > 0
+
+    def test_prewarm_does_not_change_later_verdicts(self):
+        SpecCC.clear_caches()
+        cold = SpecCC().check([("R1", "If the sensor is active, the valve is opened.")])
+        SpecCC.clear_caches()
+        tool = SpecCC()
+        tool.prewarm()
+        warm = tool.check([("R1", "If the sensor is active, the valve is opened.")])
+        from repro.service.reportjson import report_to_dict
+
+        assert report_to_dict(cold, timings=False) == report_to_dict(
+            warm, timings=False
+        )
+
+    def test_prewarm_custom_and_empty_workloads(self):
+        tool = SpecCC()
+        stats = tool.prewarm(["The valve is opened."])
+        assert "component_cache" in stats
+        assert tool.prewarm([]) == tool.cache_stats()  # no-op workload
+
+    def test_cache_stats_snapshot_is_picklable(self):
+        import pickle
+
+        snapshot = SpecCC.cache_stats()
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot

@@ -1,0 +1,195 @@
+"""Tests of the persistent sharded worker pool (service/pool.py).
+
+The contract under test: canonical reports are byte-identical across
+every backend and every shard count, repeated documents land on warm
+worker caches (observable through ``pool.stats()``), and the shared-pool
+registry hands the same pool to equivalent tool setups.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import BatchChecker, SpecCC, SpecCCConfig
+from repro.service.pool import (
+    WorkerPool,
+    document_signature,
+    shared_pool,
+    shutdown_shared_pools,
+)
+
+DOCS = [
+    ("consistent", "If the sensor is active, the valve is opened.\n"),
+    (
+        "repairable",
+        "If the session is active, the page is displayed.\n"
+        "If the notice is posted, the page is not displayed.\n",
+    ),
+    ("unsat", "The valve is opened.\nThe valve is not opened.\n"),
+    (
+        "two-components",
+        "If the button is pressed, the lamp is activated.\n"
+        "If the alarm is issued, the door is not opened.\n",
+    ),
+]
+
+
+def canonical(results) -> list:
+    return [json.dumps(result.data, sort_keys=True) for result in results]
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _registry_cleanup():
+    yield
+    shutdown_shared_pools()
+
+
+class TestDocumentSignature:
+    def test_stable_for_identical_content(self):
+        assert document_signature(DOCS[0][1]) == document_signature(DOCS[0][1])
+
+    def test_distinguishes_content(self):
+        signatures = {document_signature(text) for _, text in DOCS}
+        assert len(signatures) == len(DOCS)
+
+    def test_distinguishes_document_shape(self):
+        text = "If the sensor is active, the valve is opened."
+        assert document_signature(text) != document_signature([("R1", text)])
+
+    def test_pair_identifiers_matter(self):
+        text = "If the sensor is active, the valve is opened."
+        assert document_signature([("R1", text)]) != document_signature(
+            [("R2", text)]
+        )
+
+
+class TestWorkerPool:
+    def test_reports_byte_identical_across_backends_and_shards(self):
+        """The acceptance criterion: thread, fresh-process and persistent
+        pool (at several shard counts) all emit the sequential bytes."""
+        sequential = canonical(BatchChecker(workers=1).check_documents(DOCS))
+        assert canonical(BatchChecker(workers=4).check_documents(DOCS)) == sequential
+        assert (
+            canonical(
+                BatchChecker(workers=2, backend="process-fresh").check_documents(
+                    DOCS
+                )
+            )
+            == sequential
+        )
+        for shards in (1, 2, 4):
+            with WorkerPool(shards=shards) as pool:
+                tasks = pool.check_documents(DOCS)
+                assert [
+                    json.dumps(task.data, sort_keys=True) for task in tasks
+                ] == sequential, f"shards={shards}"
+                assert [task.name for task in tasks] == [name for name, _ in DOCS]
+
+    def test_repeated_corpus_hits_warm_worker_caches(self):
+        """Second pass over the same corpus must be served from the
+        workers' component-outcome LRUs: no new misses, only hits."""
+        SpecCC.clear_caches()  # forked workers must start cold
+        with WorkerPool(shards=2, prewarm=False) as pool:
+            pool.check_documents(DOCS)
+            first = pool.stats()
+            assert first["worker_cache"]["misses"] > 0
+
+            pool.check_documents(DOCS)
+            second = pool.stats()
+
+        assert second["worker_cache"]["misses"] == first["worker_cache"]["misses"]
+        assert (
+            second["worker_cache"]["hits"]
+            >= first["worker_cache"]["hits"] + len(DOCS)
+        )
+        assert second["affinity_repeats"] == len(DOCS)
+        assert second["distinct_signatures"] == len(DOCS)
+        assert second["tasks"] == 2 * len(DOCS)
+        assert sum(second["per_shard"]) == second["tasks"]
+        assert second["worker_cache"]["hit_rate"] > 0
+
+    def test_same_document_always_routes_to_same_shard(self):
+        with WorkerPool(shards=4) as pool:
+            shard = pool.shard_of(DOCS[0][1])
+            for _ in range(3):
+                pool.submit("again", DOCS[0][1]).result()
+            stats = pool.stats()
+            assert stats["per_shard"][shard] == 3
+            assert sum(stats["per_shard"]) == 3
+
+    def test_startup_seconds_reported_once(self):
+        pool = WorkerPool(shards=1)
+        try:
+            assert pool.stats()["started"] is False
+            first = pool.ensure_started()
+            assert first > 0
+            assert pool.ensure_started() == first  # idempotent
+            assert pool.stats()["startup_seconds"] == first
+        finally:
+            pool.shutdown()
+
+    def test_worker_snapshots_are_per_shard(self):
+        with WorkerPool(shards=2, prewarm=False) as pool:
+            pool.check_documents(DOCS)
+            snapshots = pool.worker_snapshots()
+        assert len(snapshots) == 2
+        for snapshot in snapshots:
+            assert "component_cache" in snapshot
+            assert "synthesis" in snapshot
+        # The corpus was split over the shards, so at least one worker
+        # actually analysed something.
+        assert any(s["component_cache"]["misses"] > 0 for s in snapshots)
+
+    def test_worker_errors_propagate_and_are_counted(self):
+        with WorkerPool(shards=1) as pool:
+            with pytest.raises(Exception):
+                pool.submit("bad", [("R1", "")]).result()
+            assert pool.stats()["failures"] == 1
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            WorkerPool(shards=0)
+
+    def test_shutdown_rejects_new_work(self):
+        pool = WorkerPool(shards=1)
+        pool.ensure_started()
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.submit("late", DOCS[0][1])
+
+
+class TestSharedRegistry:
+    def test_same_setup_reuses_the_pool(self):
+        first = shared_pool(shards=2)
+        second = shared_pool(shards=2)
+        assert first is second
+
+    def test_distinct_shard_counts_get_distinct_pools(self):
+        assert shared_pool(shards=2) is not shared_pool(shards=3)
+
+    def test_distinct_dictionaries_get_distinct_pools(self):
+        from repro.nlp.antonyms import AntonymDictionary
+
+        dictionary = AntonymDictionary.default()
+        dictionary.add_pair("active", "normal")
+        custom = shared_pool(tool=SpecCC(dictionary=dictionary), shards=2)
+        assert custom is not shared_pool(shards=2)
+
+    def test_batchchecker_process_backend_uses_registry(self):
+        sequential = canonical(BatchChecker(workers=1).check_documents(DOCS))
+        pooled = BatchChecker(workers=2, backend="process").check_documents(DOCS)
+        assert canonical(pooled) == sequential
+        # A second checker with the same setup reuses the same warm pool.
+        pool = shared_pool(shards=2)
+        before = pool.stats()["tasks"]
+        BatchChecker(workers=2, backend="process").check_documents(DOCS)
+        assert shared_pool(shards=2).stats()["tasks"] == before + len(DOCS)
+
+    def test_injected_pool_wins_over_registry(self):
+        with WorkerPool(shards=1) as pool:
+            checker = BatchChecker(workers=4, backend="process", pool=pool)
+            results = checker.check_documents(DOCS[:2])
+            assert [r.name for r in results] == [name for name, _ in DOCS[:2]]
+            assert pool.stats()["tasks"] == 2

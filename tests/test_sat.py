@@ -217,6 +217,70 @@ class TestPropagationSchemes:
         assert not solver.solve()
 
 
+class TestDatabaseReduction:
+    """Learnt-clause DB reduction with literal-block-distance scoring."""
+
+    def test_reduction_drops_clauses_and_preserves_verdict(self):
+        cnf = pigeonhole(6, 5)
+        for mode in ("watch", "scan"):
+            solver = CDCLSolver(cnf, propagation=mode, reduce_interval=20)
+            assert not solver.solve()
+            stats = solver.stats()
+            assert stats["learnt_dropped"] > 0, mode
+            assert stats["learnt_kept"] >= 0
+            # The live DB is what the stats count; tombstones are excluded.
+            live = sum(1 for clause in solver.clauses if clause is not None)
+            assert stats["clauses"] == live
+
+    def test_reduction_disabled_keeps_everything(self):
+        solver = CDCLSolver(pigeonhole(6, 5), reduce_interval=0)
+        assert not solver.solve()
+        assert solver.stats()["learnt_dropped"] == 0
+
+    def test_stats_gain_reduction_counters(self):
+        solver = CDCLSolver(cnf_of([1, 2], [-1, 2]))
+        assert solver.solve()
+        stats = solver.stats()
+        assert "learnt_kept" in stats
+        assert "learnt_dropped" in stats
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            CDCLSolver(cnf_of([1]), reduce_interval=-1)
+
+    def test_reduction_is_deterministic(self):
+        cnf = pigeonhole(6, 5)
+        first = CDCLSolver(cnf, reduce_interval=10)
+        second = CDCLSolver(cnf, reduce_interval=10)
+        assert not first.solve() and not second.solve()
+        assert first.stats() == second.stats()
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_aggressive_reduction_agrees_with_brute_force(self, seed):
+        rng = random.Random(9000 + seed)
+        cnf = random_cnf(rng, num_vars=8, num_clauses=rng.randint(20, 45))
+        solver = CDCLSolver(cnf, reduce_interval=3)
+        result = solver.solve()
+        brute = solve_brute(cnf)
+        assert bool(result) == (brute is not None)
+        if result:
+            for clause in cnf.clauses:
+                assert any(result.value(lit) for lit in clause)
+
+    def test_glue_and_binary_clauses_survive(self):
+        solver = CDCLSolver(pigeonhole(6, 5), reduce_interval=10)
+        assert not solver.solve()
+        for index in solver.learnt:
+            clause = solver.clauses[index]
+            assert clause is not None
+            # Everything the reducer may keep indefinitely is glue, short,
+            # or simply hasn't been the worse half yet — but nothing
+            # tombstoned may linger in the live list.
+        for index, lbd in solver.lbd.items():
+            assert solver.clauses[index] is not None
+            assert lbd >= 1
+
+
 class TestAssumptions:
     def test_sat_under_assumptions(self):
         cnf = cnf_of([1, 2])

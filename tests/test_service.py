@@ -4,6 +4,7 @@ the machine-readable CLI output."""
 
 from __future__ import annotations
 
+import asyncio
 import io
 import json
 
@@ -18,7 +19,7 @@ from repro import (
 )
 from repro.__main__ import main as cli_main
 from repro.service.reportjson import report_to_dict
-from repro.service.server import serve
+from repro.service.server import AsyncSpecServer, serve, serve_async
 
 
 TWO_COMPONENTS = [
@@ -343,6 +344,253 @@ class TestServe:
         assert responses[1]["size"] == 0
         assert responses[2]["size"] == 0
 
+    def test_stats_surface_pool_counters(self):
+        responses = run_serve([{"op": "stats"}])
+        assert "pools" in responses[0]  # pool.stats() rows, [] before use
+
+
+def run_serve_async(lines):
+    """Drive the asyncio front end over string streams; parsed responses."""
+    out = io.StringIO()
+    payload = "\n".join(
+        json.dumps(line) if isinstance(line, dict) else line for line in lines
+    )
+    serve_async(io.StringIO(payload + "\n"), out)
+    return [json.loads(line) for line in out.getvalue().splitlines()]
+
+
+def normalize(response: dict) -> str:
+    """Canonical response bytes minus the protocol's volatile fields
+    (one shared normalize_response in server.py, so this cannot drift
+    from the benchmark's identical comparison)."""
+    from repro.service.server import normalize_response
+
+    return json.dumps(normalize_response(response), sort_keys=True)
+
+
+def client_script(client: int):
+    """A small edit/check session over a client-private variable pool."""
+    return [
+        {
+            "op": "add",
+            "id": "R1",
+            "text": f"If the sensor {client} is active, the device {client} is started.",
+        },
+        {"op": "check", "timings": False},
+        {
+            "op": "update",
+            "id": "R1",
+            "text": f"If the sensor {client} is normal, the device {client} is started.",
+        },
+        {"op": "check", "timings": False},
+    ]
+
+
+class TestServeAsync:
+    def test_session_lifecycle_single_client(self):
+        responses = run_serve_async(
+            [
+                {"op": "add", "id": "R1", "text": TWO_COMPONENTS[0][1]},
+                {"op": "check", "timings": False},
+                {"op": "shutdown"},
+            ]
+        )
+        assert all(response["ok"] for response in responses)
+        assert all(response["session"] == "default" for response in responses)
+        assert responses[1]["report"]["verdict"] == "realizable"
+        assert responses[2]["op"] == "shutdown"
+
+    def test_rid_echoed_for_correlation(self):
+        responses = run_serve_async(
+            [{"op": "add", "id": "R1", "text": "The valve is opened.", "rid": 42}]
+        )
+        assert responses[0]["rid"] == 42
+
+    def test_malformed_input_does_not_kill_the_async_daemon(self):
+        """The hardening satellite, async half: bad JSON, a non-object
+        line, a missing op and a missing field each produce an error
+        response and the loop keeps serving."""
+        responses = run_serve_async(
+            [
+                "this is not json",
+                "[1, 2]",
+                {"id": "R1", "text": "The valve is opened."},  # no op
+                {"op": "frobnicate"},
+                {"op": "add", "id": "R1"},  # missing text
+                {"op": "add", "id": "R1", "text": "The valve is opened."},
+            ]
+        )
+        assert [response["ok"] for response in responses] == [
+            False,
+            False,
+            False,
+            False,
+            False,
+            True,
+        ]
+        assert "malformed JSON" in responses[0]["error"]
+
+    def test_sessions_are_isolated(self):
+        responses = run_serve_async(
+            [
+                {"op": "add", "id": "R1", "text": "The valve is opened.", "session": "a"},
+                {"op": "add", "id": "R1", "text": "The door is opened.", "session": "b"},
+                {"op": "stats", "session": "a"},
+            ]
+        )
+        assert all(response["ok"] for response in responses)
+        stats = responses[-1]
+        assert stats["size"] == 1  # session a sees only its own requirement
+        assert stats["sessions"] == 2
+
+    def test_eight_concurrent_clients_match_sequential_serve(self):
+        """The acceptance criterion: >= 8 concurrent clients multiplexed
+        over one async loop, per-session responses identical to each
+        session running alone through the sequential serve loop."""
+        clients = 8
+        scripts = {f"c{index}": client_script(index) for index in range(clients)}
+        interleaved = []
+        for step in range(max(len(s) for s in scripts.values())):
+            for name, script in scripts.items():
+                if step < len(script):
+                    interleaved.append(
+                        {**script[step], "session": name, "rid": step}
+                    )
+        interleaved.append({"op": "shutdown"})
+
+        responses = run_serve_async(interleaved)
+        by_session = {name: [] for name in scripts}
+        for response in responses:
+            if response.get("session") in by_session:
+                by_session[response["session"]].append(response)
+        for name, script in scripts.items():
+            got = sorted(by_session[name], key=lambda r: r["rid"])
+            assert len(got) == len(script), name
+            reference = run_serve(script)
+            assert [normalize(r) for r in got] == [
+                normalize(r) for r in reference
+            ], name
+
+    def test_concurrent_handle_requests_keep_per_session_order(self):
+        """Direct API: fire all clients' requests through asyncio.gather;
+        per-session revisions must still be strictly sequential."""
+
+        async def drive():
+            server = AsyncSpecServer()
+            tasks = []
+            for client in range(8):
+                for request in client_script(client):
+                    tasks.append(
+                        server.handle_request({**request, "session": f"c{client}"})
+                    )
+            return await asyncio.gather(*tasks)
+
+        responses = asyncio.run(drive())
+        assert all(response["ok"] for response in responses)
+        for client in range(8):
+            revisions = [
+                response["revision"]
+                for response in responses
+                if response["session"] == f"c{client}" and "revision" in response
+            ]
+            assert revisions == [1, 2]
+
+    def test_batch_op_defaults_to_worker_pool(self):
+        from repro.service.pool import shared_pool, shutdown_shared_pools
+
+        try:
+            responses = run_serve_async(
+                [
+                    {
+                        "op": "batch",
+                        "workers": 2,
+                        "documents": [
+                            {"name": "a", "text": BATCH_DOCS[0][1]},
+                            {"name": "b", "text": BATCH_DOCS[2][1]},
+                        ],
+                    },
+                ]
+            )
+            results = responses[0]["results"]
+            assert [entry["name"] for entry in results] == ["a", "b"]
+            assert results[0]["report"]["consistent"] is True
+            assert results[1]["report"]["consistent"] is False
+            # The async front end routed the batch through the shared pool.
+            assert shared_pool(shards=2).stats()["tasks"] >= 2
+        finally:
+            shutdown_shared_pools()
+
+    def test_invalid_op_does_not_allocate_a_session(self):
+        """Invalid traffic must not grow daemon state: the op is validated
+        before any per-session allocation happens."""
+
+        async def drive():
+            server = AsyncSpecServer()
+            bad = await server.handle_request(
+                {"op": "frobnicate", "session": "ghost"}
+            )
+            missing = await server.handle_request({"session": "ghost2"})
+            good = await server.handle_request({"op": "stats", "session": "real"})
+            return server.session_names, bad, missing, good
+
+        names, bad, missing, good = asyncio.run(drive())
+        assert not bad["ok"] and not missing["ok"]
+        assert good["ok"]
+        assert names == ("real",)
+
+    def test_session_count_is_bounded(self):
+        async def drive():
+            server = AsyncSpecServer(max_sessions=2)
+            return [
+                await server.handle_request({"op": "stats", "session": name})
+                for name in ("a", "b", "c")
+            ]
+
+        responses = asyncio.run(drive())
+        assert [response["ok"] for response in responses] == [True, True, False]
+        assert "too many sessions" in responses[2]["error"]
+
+    def test_batch_workers_clamped(self, monkeypatch):
+        """A client-chosen worker count must not be able to spawn pools
+        (and their persistent processes) without bound."""
+        import repro.service.server as server_module
+
+        captured = {}
+        real = server_module.BatchChecker
+
+        def spy(*args, **kwargs):
+            captured.update(kwargs)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(server_module, "BatchChecker", spy)
+        responses = run_serve(
+            [
+                {
+                    "op": "batch",
+                    "workers": 999,
+                    "documents": [{"name": "a", "text": "The valve is opened."}],
+                }
+            ]
+        )
+        assert responses[0]["ok"]
+        assert captured["workers"] == server_module._Server.MAX_BATCH_WORKERS
+
+    def test_shutdown_drains_pending_requests(self):
+        script = [
+            {"op": "add", "id": "R1", "text": TWO_COMPONENTS[0][1], "session": "a"},
+            {"op": "check", "timings": False, "session": "a"},
+            {"op": "shutdown"},
+            {"op": "add", "id": "R2", "text": "ignored", "session": "a"},
+        ]
+        responses = run_serve_async(script)
+        # Everything before the shutdown is answered; nothing after is read.
+        assert len(responses) == 3
+        assert [response["op"] for response in responses[:3]] == [
+            "add",
+            "check",
+            "shutdown",
+        ]
+
 
 class TestCLI:
     def test_check_json(self, tmp_path, capsys):
@@ -382,6 +630,21 @@ class TestCLI:
 
     def test_batch_empty_directory(self, tmp_path):
         assert cli_main(["batch", str(tmp_path)]) == 2
+
+    def test_serve_accepts_async_flag(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(["serve", "--async"])
+        assert args.use_async is True
+        assert build_parser().parse_args(["serve"]).use_async is False
+
+    def test_batch_accepts_process_fresh_backend(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(
+            ["batch", ".", "--backend", "process-fresh"]
+        )
+        assert args.backend == "process-fresh"
 
     def test_json_rejects_textual_flags(self, tmp_path, capsys):
         document = tmp_path / "spec.txt"
