@@ -10,6 +10,11 @@ Tracks the perf trajectory of the hot paths the paper's pipeline leans on:
 * **end_to_end**: the three Table I case-study blocks (CARA, TELEPROMISE,
   robot) run through the full SpecCC pipeline, with their verdicts recorded
   so speedups can never silently change results.
+* **incremental_semantics** (schema ``/2``): the analysis-graph scenario —
+  a document of antonym-coupled sentence pairs, single-sentence edits
+  re-checked through one long-lived session.  Records how many sentences
+  Algorithm 1 actually re-analysed per edit (the graph bounds it to the
+  edited subject's sentences) and the speedup over fresh per-edit checks.
 
 Usage (from the repository root)::
 
@@ -49,7 +54,7 @@ from repro.casestudies import (  # noqa: E402
 )
 from repro.logic.ast import Atom, next_chain  # noqa: E402
 
-SCHEMA = "repro-bench-core/1"
+SCHEMA = "repro-bench-core/2"
 BASELINE_PATH = Path(__file__).resolve().parent / "baseline_core.json"
 
 
@@ -153,6 +158,94 @@ def bench_end_to_end(quick: bool) -> Dict[str, Dict[str, object]]:
     return results
 
 
+# ---------------------------------------------------- incremental semantics
+def _semantic_workload(groups: int) -> List[tuple]:
+    """2 * groups sentences: each group's subject carries an antonym pair,
+    so Algorithm 1 forms one analysis unit per group."""
+    requirements = []
+    for group in range(1, groups + 1):
+        requirements.append(
+            (
+                f"A{group}",
+                f"If the sensor {group} is active, the device {group} is started.",
+            )
+        )
+        requirements.append(
+            (
+                f"B{group}",
+                f"If the sensor {group} is inactive, the device {group} is stopped.",
+            )
+        )
+    return requirements
+
+
+def bench_incremental_semantics(quick: bool) -> Dict[str, object]:
+    """Edit 1 of 2N sentences; count what Algorithm 1 re-analyses."""
+    from repro import SpecSession
+
+    groups = 6 if quick else 20
+    edits = 3 if quick else 10
+    requirements = _semantic_workload(groups)
+
+    edit_sequence = []
+    for edit in range(edits):
+        group = (edit * 7) % groups + 1
+        adjective = "normal" if edit % 2 == 0 else "active"
+        edit_sequence.append(
+            (
+                f"A{group}",
+                f"If the sensor {group} is {adjective}, "
+                f"the device {group} is started.",
+            )
+        )
+
+    # Incremental: one session over the analysis graph.
+    _clear_caches()
+    session = SpecSession(_paper_tool())
+    for identifier, sentence in requirements:
+        session.add(identifier, sentence)
+    first = session.check()
+    incremental_verdicts = []
+    sentences_reanalysed = []
+    units_replayed = []
+    start = time.perf_counter()
+    for identifier, sentence in edit_sequence:
+        session.update(identifier, sentence)
+        report = session.check()
+        incremental_verdicts.append(report.verdict.value)
+        sentences_reanalysed.append(len(report.delta.semantics_reanalysed))
+        units_replayed.append(report.delta.semantics_misses)
+    incremental_seconds = time.perf_counter() - start
+
+    # Fresh: a cold full check per edit (what the one-shot CLI costs).
+    state = dict(requirements)
+    fresh_verdicts = []
+    start = time.perf_counter()
+    for identifier, sentence in edit_sequence:
+        state[identifier] = sentence
+        _clear_caches()
+        fresh_verdicts.append(
+            _paper_tool().check(list(state.items())).verdict.value
+        )
+    fresh_seconds = time.perf_counter() - start
+
+    return {
+        "sentences": len(requirements),
+        "analysis_units": first.delta.semantics_components,
+        "edits": edits,
+        "incremental_seconds": incremental_seconds,
+        "fresh_seconds": fresh_seconds,
+        "speedup": round(fresh_seconds / incremental_seconds, 2)
+        if incremental_seconds > 0
+        else None,
+        "sentences_reanalysed_per_edit": sentences_reanalysed,
+        "max_sentences_reanalysed_per_edit": max(sentences_reanalysed),
+        "units_replayed_per_edit": units_replayed,
+        "max_units_replayed_per_edit": max(units_replayed),
+        "verdicts_match": incremental_verdicts == fresh_verdicts,
+    }
+
+
 def _flat_times(report: Dict) -> Dict[str, float]:
     """Map benchmark name -> headline seconds, for speedup ratios."""
     flat: Dict[str, float] = {}
@@ -172,6 +265,7 @@ def build_report(quick: bool) -> Dict:
         "platform": platform.platform(),
         "micro": bench_micro(quick),
         "end_to_end": bench_end_to_end(quick),
+        "incremental_semantics": bench_incremental_semantics(quick),
     }
     if BASELINE_PATH.exists():
         baseline = json.loads(BASELINE_PATH.read_text())
@@ -221,6 +315,12 @@ def main(argv: List[str] | None = None) -> int:
         ratio = report.get("speedup", {}).get(name)
         suffix = f"  ({ratio:.2f}x vs baseline)" if ratio else ""
         print(f"{name:<40} {seconds:>10.4f}s{suffix}")
+    semantics = report["incremental_semantics"]
+    print(
+        f"incremental_semantics: <= {semantics['max_sentences_reanalysed_per_edit']}"
+        f"/{semantics['sentences']} sentences re-analysed per edit, "
+        f"{semantics['speedup']}x vs fresh per-edit checks"
+    )
     print(f"wrote {args.output}")
     return 0
 

@@ -20,21 +20,25 @@ Quickstart::
     print(report.summary())
 """
 
+from .core.graph import AnalysisGraph, shared_graph
 from .core.pipeline import ConsistencyReport, SpecCC, SpecCCConfig
 from .logic import parse as parse_ltl
 from .service import BatchChecker, SessionReport, SpecSession, WorkerPool
 from .synthesis.realizability import Engine, SynthesisLimits, Verdict
+from .translate.semantics import SemanticsDelta
 from .translate.templates import TranslationOptions
 from .translate.timeabs import AbstractionMethod
 from .translate.translator import Translator
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AbstractionMethod",
+    "AnalysisGraph",
     "BatchChecker",
     "ConsistencyReport",
     "Engine",
+    "SemanticsDelta",
     "SessionReport",
     "SpecCC",
     "SpecCCConfig",
@@ -45,5 +49,6 @@ __all__ = [
     "Verdict",
     "WorkerPool",
     "parse_ltl",
+    "shared_graph",
     "__version__",
 ]

@@ -69,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the machine-readable report (same format as serve/batch)",
     )
+    check.add_argument(
+        "--stats",
+        action="store_true",
+        help="attach cache and synthesis-engine statistics (the serve "
+        "loop's 'stats' payload) to the report",
+    )
     _add_config_arguments(check)
 
     serve = sub.add_parser(
@@ -117,9 +123,15 @@ def run_check(args: argparse.Namespace) -> int:
 
     report = tool.check_document(text)
     if args.json:
-        from .service.reportjson import report_to_dict
+        from .service.reportjson import report_to_dict, stats_to_dict
 
-        data = report_to_dict(report, cache=tool.cache_stats())
+        # With --stats every gauge lives exactly once, under "stats";
+        # without it the report keeps its compact "cache" attachment.
+        if args.stats:
+            data = report_to_dict(report)
+            data["stats"] = stats_to_dict(tool)
+        else:
+            data = report_to_dict(report, cache=tool.cache_stats())
         print(json.dumps(data, indent=2, sort_keys=True))
         return 0 if report.consistent else 1
     if args.ltl:
@@ -132,6 +144,11 @@ def run_check(args: argparse.Namespace) -> int:
         print()
         for machine in report.controllers:
             print(machine.describe())
+    if args.stats:
+        from .service.reportjson import stats_to_dict
+
+        print()
+        print(json.dumps(stats_to_dict(tool), indent=2, sort_keys=True))
     return 0 if report.consistent else 1
 
 

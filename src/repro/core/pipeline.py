@@ -14,12 +14,19 @@ The pipeline chains the three stages of the paper:
 
 Stages 2-3 revisit the same formulas over and over: every partition-repair
 iteration re-checks every component, and localization grows subsets one
-requirement at a time.  Formulas are interned (:mod:`repro.logic.ast`), so
-the realizability layer recognises repeats and serves component verdicts
-and Büchi automata from caches — only components actually affected by a
-repair are re-analysed.  The caches are semantically
-transparent; :meth:`SpecCC.clear_caches` resets them (benchmarking, or
-bounding memory in long-lived services).
+requirement at a time.  The whole pipeline therefore runs on an
+**incremental analysis graph** (:mod:`repro.core.graph`): parses,
+vocabulary, Algorithm 1 components, raw formulas, theta rewrites and the
+partition are per-document nodes keyed by content signatures, while
+semantic-analysis components and realizability component outcomes live on
+the process-wide shared graph — formulas are interned
+(:mod:`repro.logic.ast`), so the realizability layer recognises repeats
+and serves component verdicts and Büchi automata from its stage without
+rebuilding anything a repair did not touch.  The caches are semantically
+transparent; :meth:`SpecCC.clear_caches` resets the process-wide ones
+(benchmarking, or bounding memory in long-lived services), while each
+tool's per-document translation graph is bounded by retain-pruning and
+cleared via :meth:`SpecCC.clear_translation_cache`.
 
 :class:`SpecCC` is the façade a user interacts with; it returns a
 :class:`ConsistencyReport` mirroring what the prototype tool prints.
@@ -136,27 +143,39 @@ class SpecCC:
 
     @staticmethod
     def clear_caches() -> None:
-        """Reset the process-wide realizability/translation caches."""
+        """Reset the process-wide caches (shared graph, automata, engine
+        counters).  Per-tool translation graphs are instance state — see
+        :meth:`clear_translation_cache`."""
         from ..synthesis.realizability import clear_caches
 
         clear_caches()
+
+    def clear_translation_cache(self) -> None:
+        """Drop this tool's per-document translation graph (all stages)."""
+        self.translator.cache().clear()
 
     @staticmethod
     def cache_stats() -> dict:
         """Observability into the process-wide caches.
 
-        Returns component-outcome cache hits/misses (reset by
-        :meth:`clear_caches`), the formula→automaton cache size, the
-        live interned-node count and the synthesis-engine work counters
-        (SAT propagations/conflicts/restarts/clause visits, safety-game
-        positions/letter updates), so sessions, benchmarks and tests can
-        assert reuse and engine work instead of guessing from timings.
-        The returned value is plain picklable data — worker-pool
-        processes ship it across the pipe unchanged.
+        Returns component-outcome cache hits/misses and the Algorithm 1
+        semantics-memo counters (both stages of the shared analysis
+        graph, reset by :meth:`clear_caches`), the formula→automaton
+        cache size, the live interned-node count and the
+        synthesis-engine work counters (SAT propagations/conflicts/
+        restarts/clause visits, safety-game positions/letter updates),
+        so sessions, benchmarks and tests can assert reuse and engine
+        work instead of guessing from timings.  The returned value is
+        plain picklable data — worker-pool processes ship it across the
+        pipe unchanged.
         """
         from ..synthesis.realizability import cache_snapshot
 
         return cache_snapshot()
+
+    def translation_cache_stats(self) -> dict:
+        """Node counts of this tool's per-document translation graph."""
+        return self.translator.cache().stats()
 
     #: Sentences the :meth:`prewarm` default workload runs: a
     #: condition/response pair sharing one component plus an antonym

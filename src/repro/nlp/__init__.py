@@ -4,8 +4,10 @@ antonym dictionary — the offline stand-in for the Stanford parser."""
 from .antonyms import DEFAULT_PAIRS, AntonymDictionary
 from .dependencies import (
     Dependency,
+    candidate_subjects,
     clause_dependencies,
     extract_dependencies,
+    sentence_vocabulary,
     subject_dependents,
 )
 from .grammar import (
@@ -34,6 +36,7 @@ __all__ = [
     "TimeConstraint",
     "Token",
     "TreeNode",
+    "candidate_subjects",
     "clause_dependencies",
     "extract_dependencies",
     "normalise_name",
@@ -41,6 +44,7 @@ __all__ = [
     "parse_sentence",
     "render",
     "render_sentence",
+    "sentence_vocabulary",
     "split_sentences",
     "subject_dependents",
     "syntax_tree",

@@ -73,6 +73,23 @@ class AntonymDictionary:
         self.positive_forms.add(positive)
         self.positive_forms.discard(negative)
 
+    def signature(self) -> Tuple:
+        """Stable content signature of the dictionary.
+
+        Two dictionaries with equal signatures answer every
+        :meth:`lookup` / :meth:`is_positive` query identically (the
+        morphology rules are fixed), so cached semantic analyses keyed by
+        this signature are exact across dictionaries, sessions and worker
+        processes.  ``PYTHONHASHSEED``-free by construction.
+        """
+        return (
+            tuple(
+                (word, tuple(sorted(antonyms)))
+                for word, antonyms in sorted(self.pairs.items())
+            ),
+            tuple(sorted(self.positive_forms)),
+        )
+
     def lookup(self, word: str) -> FrozenSet[str]:
         """The ``online(w)`` oracle: known antonyms of *word*.
 

@@ -67,3 +67,41 @@ def subject_dependents(sentences: Sequence[Sentence]) -> Dict[str, Set[str]]:
         if dep.relation == "acomp":
             table.setdefault(dep.head, set()).add(dep.dependent)
     return table
+
+
+def sentence_vocabulary(sentence: Sentence) -> tuple:
+    """One sentence's contribution to Algorithm 1's input, hashably.
+
+    A sorted ``((subject, (dependents...)), ...)`` tuple — the analysis
+    graph's per-sentence *vocabulary node*.  Unioning these over a
+    document reproduces :func:`subject_dependents` exactly, which is what
+    lets the semantic analysis attribute an edit to the vocabulary
+    components it actually touches.
+    """
+    return tuple(
+        (subject, tuple(sorted(dependents)))
+        for subject, dependents in sorted(subject_dependents([sentence]).items())
+    )
+
+
+def candidate_subjects(sentence: Sentence) -> frozenset:
+    """Subjects of *sentence* that can own antonym-candidate propositions.
+
+    A proposition is an antonym candidate when its clause carries an
+    adjective complement; :meth:`SemanticAnalysis.reduce
+    <repro.translate.semantics.SemanticAnalysis.reduce>` then reads
+    exactly the antonym pairs of the proposition's subject.  The set
+    therefore bounds which slice of a specification-wide analysis one
+    sentence's translation can depend on.  Pronoun subjects resolve to
+    the main clause's first subject, mirroring the template layer.
+    """
+    main = sentence.main.clauses[0].subjects[0] if sentence.main.clauses else None
+    subjects: Set[str] = set()
+    for clause in sentence.all_clauses():
+        if clause.complement is None:
+            continue
+        for subject in clause.subjects:
+            if subject == "it" and main is not None:
+                subject = main
+            subjects.add(subject)
+    return frozenset(subjects)

@@ -84,6 +84,8 @@ class PoolTask(NamedTuple):
     shard: int
     cache_hits: int  # component-outcome hits inside the worker, this task
     cache_misses: int
+    semantics_hits: int = 0  # Algorithm 1 memo traffic inside the worker
+    semantics_misses: int = 0
 
 
 # ---------------------------------------------------------------- workers
@@ -100,21 +102,33 @@ def _worker_init(setup: tuple, prewarm: bool) -> None:
         _WORKER_TOOL.prewarm()
 
 
+def _counter_snapshot() -> Dict[str, int]:
+    """The per-task attribution counters, flat (components + semantics)."""
+    from ..core.graph import shared_graph
+
+    stats = shared_graph().stats()
+    return {
+        "hits": stats["components"].hits,
+        "misses": stats["components"].misses,
+        "semantics_hits": stats["semantics"].hits,
+        "semantics_misses": stats["semantics"].misses,
+    }
+
+
 def _worker_check(item: Tuple[str, Document]) -> Tuple[dict, Dict[str, int]]:
-    """Check one document on the resident tool; report + hit/miss delta."""
-    from ..synthesis.realizability import component_cache_info
+    """Check one document on the resident tool; report + hit/miss deltas."""
     from .batch import _check_document
     from .reportjson import report_to_dict
 
     tool = _WORKER_TOOL
     if tool is None:  # pragma: no cover - initializer always runs first
         raise RuntimeError("worker process was not initialized")
-    before = component_cache_info()
+    before = _counter_snapshot()
     report = _check_document(tool, item[1])
-    after = component_cache_info()
+    after = _counter_snapshot()
     return (
         report_to_dict(report, timings=False),
-        {"hits": after.hits - before.hits, "misses": after.misses - before.misses},
+        {key: after[key] - before[key] for key in after},
     )
 
 
@@ -167,6 +181,8 @@ class WorkerPool:
         self._per_shard = [0] * shards
         self._worker_hits = 0
         self._worker_misses = 0
+        self._worker_semantics_hits = 0
+        self._worker_semantics_misses = 0
         self._routed: "Dict[str, int]" = {}  # signature -> shard (bounded)
         self._affinity_repeats = 0
 
@@ -258,8 +274,18 @@ class WorkerPool:
             with self._lock:
                 self._worker_hits += delta["hits"]
                 self._worker_misses += delta["misses"]
+                self._worker_semantics_hits += delta.get("semantics_hits", 0)
+                self._worker_semantics_misses += delta.get("semantics_misses", 0)
             outer.set_result(
-                PoolTask(name, data, shard, delta["hits"], delta["misses"])
+                PoolTask(
+                    name,
+                    data,
+                    shard,
+                    delta["hits"],
+                    delta["misses"],
+                    delta.get("semantics_hits", 0),
+                    delta.get("semantics_misses", 0),
+                )
             )
 
         inner.add_done_callback(_done)
@@ -292,6 +318,9 @@ class WorkerPool:
         with self._lock:
             hits, misses = self._worker_hits, self._worker_misses
             total = hits + misses
+            sem_hits = self._worker_semantics_hits
+            sem_misses = self._worker_semantics_misses
+            sem_total = sem_hits + sem_misses
             return {
                 "shards": self.shards,
                 "started": self._startup_seconds is not None,
@@ -305,6 +334,13 @@ class WorkerPool:
                     "hits": hits,
                     "misses": misses,
                     "hit_rate": round(hits / total, 4) if total else None,
+                },
+                "worker_semantics": {
+                    "hits": sem_hits,
+                    "misses": sem_misses,
+                    "hit_rate": round(sem_hits / sem_total, 4)
+                    if sem_total
+                    else None,
                 },
             }
 

@@ -16,7 +16,25 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..core.pipeline import ConsistencyReport
+from ..core.pipeline import ConsistencyReport, SpecCC
+
+
+def stats_to_dict(tool: Optional[SpecCC] = None) -> dict:
+    """Cache and engine-work statistics in the shared report format.
+
+    One shape for the ``serve`` loops' ``stats`` op and the CLI's
+    ``check --json --stats`` flag: the process-wide cache layers
+    (component cache, semantics memo, automaton cache, interned nodes)
+    under ``"cache"``, the engine-work counters under ``"synthesis"``
+    (one snapshot, lifted out of the cache block so each gauge appears
+    exactly once), and — when a *tool* is given — its per-document
+    translation-graph node counts under ``"translation_graph"``.
+    """
+    cache = SpecCC.cache_stats()
+    payload = {"cache": cache, "synthesis": cache.pop("synthesis")}
+    if tool is not None:
+        payload["translation_graph"] = tool.translation_cache_stats()
+    return payload
 
 
 def partition_to_dict(partition) -> Dict[str, list]:

@@ -74,6 +74,10 @@ def _delta_to_dict(report: SessionReport) -> dict:
         "reused": len(delta.reused),
         "cache_hits": delta.cache_hits,
         "cache_misses": delta.cache_misses,
+        "semantics_components": delta.semantics_components,
+        "semantics_reanalysed": list(delta.semantics_reanalysed),
+        "semantics_hits": delta.semantics_hits,
+        "semantics_misses": delta.semantics_misses,
     }
 
 
@@ -171,12 +175,12 @@ class _Server:
 
     def _op_stats(self, request: dict) -> dict:
         from .pool import shared_pool_stats
+        from .reportjson import stats_to_dict
 
-        return {
-            "cache": self.tool.cache_stats(),
-            "size": len(self.session),
-            "pools": shared_pool_stats(),
-        }
+        payload = stats_to_dict(self.tool)
+        payload["size"] = len(self.session)
+        payload["pools"] = shared_pool_stats()
+        return payload
 
     def _op_reset(self, request: dict) -> dict:
         self.session = SpecSession(self.tool)
@@ -196,7 +200,12 @@ class _Server:
 #: benchmark and the test suite both do) strips exactly these — one
 #: list, so the two comparisons cannot drift apart.
 VOLATILE_RESPONSE_FIELDS = ("session", "rid", "seconds", "pools", "sessions")
-VOLATILE_DELTA_FIELDS = ("cache_hits", "cache_misses")
+VOLATILE_DELTA_FIELDS = (
+    "cache_hits",
+    "cache_misses",
+    "semantics_hits",
+    "semantics_misses",
+)
 
 
 def normalize_response(response: dict) -> dict:

@@ -4,15 +4,19 @@ A :class:`SpecSession` is the maintenance loop of Figure 1 made stateful:
 requirements are added, updated and removed by identifier, and every
 :meth:`SpecSession.check` re-translates only the sentences an edit
 touched and re-analyses only the variable-connected components those
-sentences dirtied.  Everything else is served from the process-wide
-caches the PR-1 core put underneath:
+sentences dirtied.  Everything else is served from the analysis graph
+underneath:
 
-* sentence parses, raw formulas and theta rewrites come from the
-  session's :class:`~repro.translate.translator.TranslationCache`;
-* component verdicts come from the realizability layer's outcome LRU,
-  which is keyed by (interned formulas, local I/O split) and therefore
-  hit by every component the edit left untouched — including across the
-  repair and localization loops.
+* sentence parses, vocabulary nodes, raw formulas and theta rewrites
+  come from the session's graph-backed
+  :class:`~repro.translate.translator.TranslationCache`;
+* Algorithm 1 runs per vocabulary component through the process-wide
+  ``semantics`` stage, so an edit re-analyses only sentences whose
+  antonym vocabulary it intersects (the delta names them);
+* component verdicts come from the shared graph's ``components`` stage,
+  keyed by (interned formulas, local I/O split) and therefore hit by
+  every component the edit left untouched — including across the repair
+  and localization loops.
 
 The session never *computes* differently from the one-shot pipeline: each
 check runs the ordinary :meth:`repro.SpecCC.check_translated`, so verdicts
@@ -59,6 +63,16 @@ class SessionDelta:
     components: Tuple[ComponentDelta, ...] = ()
     cache_hits: int = 0  # component-outcome cache hits during this check
     cache_misses: int = 0  # ... and misses (= component analyses run)
+    #: Algorithm 1 attribution: vocabulary components in the document, and
+    #: the identifiers of sentences whose component this check re-analysed
+    #: (deterministic — derived from the session's own graph, not from the
+    #: process-wide counters).
+    semantics_components: int = 0
+    semantics_reanalysed: Tuple[str, ...] = ()
+    #: Process-wide semantics-memo traffic across this check (exact while
+    #: the session is the only checker running, like cache_hits/misses).
+    semantics_hits: int = 0
+    semantics_misses: int = 0
 
     @property
     def reanalyzed(self) -> Tuple[ComponentDelta, ...]:
@@ -191,10 +205,10 @@ class SpecSession:
         """Re-check the document, reusing everything an edit did not dirty."""
         start = time.perf_counter()
         edited = tuple(sorted(self._edited))
-        stats_before = self.tool.cache_stats()["component_cache"]
+        stats_before = self.tool.cache_stats()
         translation = self.tool.translator.translate(self.requirements(), self._cache)
         report = self.tool.check_translated(translation)
-        stats_after = self.tool.cache_stats()["component_cache"]
+        stats_after = self.tool.cache_stats()
 
         identifiers = [req.identifier for req in translation.requirements]
         input_set = frozenset(report.partition.inputs)
@@ -220,11 +234,24 @@ class SpecSession:
             seen[fingerprint] = part.verdict
             verdicts[ids] = part.verdict
 
+        semantics = translation.semantics_delta
         delta = SessionDelta(
             edited=edited,
             components=tuple(components),
-            cache_hits=stats_after["hits"] - stats_before["hits"],
-            cache_misses=stats_after["misses"] - stats_before["misses"],
+            cache_hits=stats_after["component_cache"]["hits"]
+            - stats_before["component_cache"]["hits"],
+            cache_misses=stats_after["component_cache"]["misses"]
+            - stats_before["component_cache"]["misses"],
+            semantics_components=semantics.components if semantics else 0,
+            semantics_reanalysed=tuple(
+                identifiers[index] for index in semantics.reanalysed
+            )
+            if semantics
+            else (),
+            semantics_hits=stats_after["semantics"]["hits"]
+            - stats_before["semantics"]["hits"],
+            semantics_misses=stats_after["semantics"]["misses"]
+            - stats_before["semantics"]["misses"],
         )
         self._seen = seen
         self._verdicts = verdicts

@@ -13,11 +13,11 @@ from __future__ import annotations
 import enum
 import threading
 import time
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from ..automata import gpvw
+from ..core.graph import shared_graph
 from ..automata.ltlsat import satisfiable
 from ..logic.ast import Formula, conj
 from ..logic.semantics import LassoWord
@@ -115,24 +115,19 @@ class _ComponentOutcome(NamedTuple):
     method: str
 
 
-# Translation-result cache: a component's analysis is a pure function of its
+# Component-outcome cache: a component's analysis is a pure function of its
 # formulas, its *local* input/output split, the engine and the limits — not
 # of the global partition.  The partition-repair loop in core/pipeline.py
 # and the subset-growth localization checker therefore rehit this cache for
 # every component the current repair/growth step did not actually change,
 # and the per-formula Büchi automata behind it (gpvw/ltlsat caches) are
-# never rebuilt.  Bounded LRU so long-lived processes cannot accumulate
-# controllers without end.
+# never rebuilt.  The cache lives on the process-wide analysis graph
+# (:func:`repro.core.graph.shared_graph`, stage ``"components"`` — a
+# bounded, thread-safe LRU) so sessions, batch threads and pool workers
+# all read the same nodes and the same hit/miss counters.
 _ComponentKey = Tuple[
     Tuple[Formula, ...], Tuple[str, ...], Tuple[str, ...], "Engine", "SynthesisLimits"
 ]
-_component_cache: "OrderedDict[_ComponentKey, _ComponentOutcome]" = OrderedDict()
-_COMPONENT_CACHE_LIMIT = 2048
-# Guards lookup/insert/evict as a unit (the lru_caches this cache replaced
-# were thread-safe; an unsynchronized move_to_end can race an eviction).
-_component_lock = threading.Lock()
-_component_hits = 0
-_component_misses = 0
 
 # Engine-work accumulators: how much the SAT solver and the safety game
 # actually did since the last clear_caches().  Cached component outcomes
@@ -206,15 +201,13 @@ class CacheInfo(NamedTuple):
 def clear_caches() -> None:
     """Reset every formula-level cache behind the realizability stack.
 
-    Benchmarks use this to measure cold paths; ordinary callers never need
-    it — all caches are keyed by interned formulas and semantically
-    transparent.
+    Clears the shared analysis graph (component outcomes *and* the
+    Algorithm 1 semantics memo), the GPVW translation cache and the
+    engine-work counters.  Benchmarks use this to measure cold paths;
+    ordinary callers never need it — all caches are keyed by interned
+    formulas / content signatures and semantically transparent.
     """
-    global _component_hits, _component_misses
-    with _component_lock:
-        _component_cache.clear()
-        _component_hits = 0
-        _component_misses = 0
+    shared_graph().clear()
     with _stats_lock:
         _synthesis_stats.clear()
         _synthesis_stats.update(_zero_synthesis_stats())
@@ -223,13 +216,8 @@ def clear_caches() -> None:
 
 def component_cache_info() -> CacheInfo:
     """Size/capacity/hit/miss statistics of the component-outcome cache."""
-    with _component_lock:
-        return CacheInfo(
-            len(_component_cache),
-            _COMPONENT_CACHE_LIMIT,
-            _component_hits,
-            _component_misses,
-        )
+    stats = shared_graph().stats()["components"]
+    return CacheInfo(stats.size, stats.capacity, stats.hits, stats.misses)
 
 
 def cache_snapshot() -> dict:
@@ -243,14 +231,16 @@ def cache_snapshot() -> dict:
     from ..automata.gpvw import translation_cache_size
     from ..logic.ast import interned_count
 
-    info = component_cache_info()
+    shared = shared_graph().snapshot()
+    info = shared["components"]
     return {
         "component_cache": {
-            "size": info.size,
-            "capacity": info.capacity,
-            "hits": info.hits,
-            "misses": info.misses,
+            "size": info["size"],
+            "capacity": info["capacity"],
+            "hits": info["hits"],
+            "misses": info["misses"],
         },
+        "semantics": shared["semantics"],
         "automaton_cache": {"size": translation_cache_size()},
         "interned_nodes": interned_count(),
         "synthesis": synthesis_stats(),
@@ -326,26 +316,19 @@ def check_component(
     subsets, session edits, and concurrent batch workers alike.  Safe to
     call from multiple threads.
     """
-    global _component_hits, _component_misses
     start = time.perf_counter()
     local_inputs = tuple(sorted(component.variables & input_set))
     local_outputs = tuple(sorted(component.variables & output_set))
-    key = (component.formulas, local_inputs, local_outputs, engine, limits)
-    with _component_lock:
-        outcome = _component_cache.get(key)
-        if outcome is not None:
-            _component_cache.move_to_end(key)
-            _component_hits += 1
-        else:
-            _component_misses += 1
-    if outcome is None:
-        outcome = _analyze_component(
+    key: _ComponentKey = (
+        component.formulas, local_inputs, local_outputs, engine, limits
+    )
+    outcome = shared_graph().compute(
+        "components",
+        key,
+        lambda: _analyze_component(
             component.formulas, local_inputs, local_outputs, engine, limits
-        )
-        with _component_lock:
-            _component_cache[key] = outcome
-            if len(_component_cache) > _COMPONENT_CACHE_LIMIT:
-                _component_cache.popitem(last=False)
+        ),
+    )
     return ComponentResult(
         component,
         outcome.verdict,

@@ -13,10 +13,13 @@ from .propositions import Proposition, clause_propositions
 from .semantics import (
     Color,
     SemanticAnalysis,
+    SemanticsDelta,
     WordEntry,
     analyse,
+    analyse_incremental,
     mutual_exclusion_assumptions,
     no_reasoning,
+    semantics_cache_info,
 )
 from .templates import TranslationOptions, clause_formula, group_formula, sentence_formula
 from .timeabs import (
@@ -42,12 +45,14 @@ __all__ = [
     "RequirementPartition",
     "RequirementTranslation",
     "SemanticAnalysis",
+    "SemanticsDelta",
     "SpecificationTranslation",
     "TranslationOptions",
     "Translator",
     "WordEntry",
     "abstract_time",
     "analyse",
+    "analyse_incremental",
     "chain_lengths",
     "classify_requirement",
     "clause_formula",
@@ -58,6 +63,7 @@ __all__ = [
     "partition_formulas",
     "partition_report",
     "rewrite_chains",
+    "semantics_cache_info",
     "sentence_formula",
     "translate_requirements",
     "unify",

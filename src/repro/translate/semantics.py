@@ -13,16 +13,31 @@ The paper further abbreviates: "When there is only one pair of adjective
 or adverb antonyms for a subject, we abbreviate the propositions by just
 using the subject and its negative form" — ``available_pulse_wave`` is
 written ``pulse_wave``.
+
+**Incrementality.**  Algorithm 1 walks the ``<subject, dependent>``
+table subject by subject, and each subject's step is a pure function of
+its sorted dependents plus the *pre-state* of each dependent word's
+antonym memo (``online(w)`` runs at most once per word, and pairing
+mutates the partner's memo — couplings the pre-states capture exactly).
+:func:`analyse` therefore folds memoised per-subject steps through the
+process-wide analysis graph (:func:`repro.core.graph.shared_graph`,
+stage ``"semantics"``), keyed by dependents + pre-states — editing one
+sentence re-runs the algorithm only for subjects whose dependents or
+threaded-in states the edit actually changed, and subjects with
+identical keys share a single node.  The pre-decomposition monolithic
+loop is kept as :func:`_analyse_table_monolithic`, the reference the
+differential tests compare against.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, NamedTuple, Optional, Sequence, Set, Tuple
 
+from ..core.graph import AnalysisGraph, StageStats, shared_graph
 from ..nlp.antonyms import AntonymDictionary
-from ..nlp.dependencies import subject_dependents
+from ..nlp.dependencies import sentence_vocabulary, subject_dependents
 from ..nlp.grammar import Sentence
 from .propositions import Proposition
 
@@ -133,26 +148,221 @@ def _strip_negation_prefix(word: Optional[str]) -> Optional[str]:
     return None
 
 
-def analyse(
-    sentences: Sequence[Sentence],
-    dictionary: Optional[AntonymDictionary] = None,
-) -> SemanticAnalysis:
-    """Run Algorithm 1 over a parsed specification."""
-    if dictionary is None:
-        dictionary = AntonymDictionary.default()
+# --------------------------------------------------------------------------
+# Algorithm 1, decomposed into per-subject *analysis units*.
+#
+# The monolithic loop (kept below as the reference) mutates shared
+# WordEntry state across subjects: the `online(w)` memo is filled at most
+# once per word, and pairing adds the reverse direction to the partner's
+# set — so a pairing under one subject can mask a later subject's
+# dictionary lookup.  Each subject's step is nevertheless a *pure
+# function* of its sorted dependents plus, per dependent word, the part of
+# the word's antonym-memo state the step can observe: whether the memo is
+# primed (non-empty — the ``online(w)`` lookup is skipped) and its
+# intersection with the subject's own dependents (everything ``found`` can
+# see).  Replaying the subjects in sorted order while threading the full
+# word states through reproduces the monolithic run exactly; memoising
+# each step under the *projected* key keeps edits local — a state change
+# a later subject cannot observe does not invalidate its node, and
+# subjects with identical keys (twenty sensors with the same adjective
+# pair) share a single node.
 
-    subjects = subject_dependents(sentences)
+
+#: A word's antonym-memo state as one subject's step observes it:
+#: ``None`` = unprimed (the next consult runs ``online(w)``); a tuple =
+#: primed, holding the memo's intersection with the subject's dependents.
+WordState = Optional[Tuple[str, ...]]
+
+
+class SubjectSemantics(NamedTuple):
+    """Frozen outcome of Algorithm 1's step for one subject.
+
+    Deliberately subject-name-free — the step's logic never reads the
+    name — so equal (dependents, observable pre-states) share one memo
+    node.  State changes are returned as a *delta* (lookups fetched,
+    partners added) the fold applies to the full states it threads.
+    Immutable and picklable.
+    """
+
+    #: ``(positive, negative)`` pairs in append order.
+    pairs: Tuple[Tuple[str, str], ...]
+    #: Dependent words coloured blue under this subject, sorted.
+    blue: Tuple[str, ...]
+    #: ``(word, full online(w) result)`` for every lookup this step ran.
+    looked_up: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    #: ``(word, partners)`` added to word memos by this step's pairings.
+    added: Tuple[Tuple[str, Tuple[str, ...]], ...]
+
+
+@dataclass(frozen=True)
+class SemanticsDelta:
+    """What one analysis actually re-ran, for session/bench reporting.
+
+    ``reanalysed`` holds the indices (into the analysed sentence list) of
+    sentences owning a subject whose analysis unit was not seen by the
+    *calling document's* previous pass — deterministic per session,
+    unlike the process-wide stage counters which concurrent checkers
+    bleed into.
+    """
+
+    components: int = 0  # analysis units (subjects with > 1 dependent)
+    reanalysed_components: int = 0
+    reused_components: int = 0
+    reanalysed: Tuple[int, ...] = ()  # sentence indices
+
+
+def _project(state: Optional[Set[str]], depset: Set[str]) -> WordState:
+    """A word's memo state as observed from inside one subject's step."""
+    return tuple(sorted(state & depset)) if state is not None else None
+
+
+def _replay_subject(
+    dependents: Tuple[str, ...],
+    pre: Tuple[WordState, ...],
+    dictionary: AntonymDictionary,
+) -> SubjectSemantics:
+    """One subject's slice of Algorithm 1, from observable word states.
+
+    Control-flow-faithful to the monolithic loop's inner body: ``found``
+    only ever reads ``dependents & antonyms``, which the projected *pre*
+    preserves, and a primed memo — projected or not — suppresses the
+    dictionary lookup exactly like a non-empty ``WordEntry.antonyms``.
+    """
+    depset = set(dependents)
+    primed: Dict[str, bool] = {}
+    effective: Dict[str, Set[str]] = {}  # memo ∩ dependents, evolving
+    for word, frozen in zip(dependents, pre):
+        primed[word] = frozen is not None
+        effective[word] = set(frozen) if frozen is not None else set()
+
+    blue: Set[str] = set()
+    pairs: List[Tuple[str, str]] = []
+    looked_up: List[Tuple[str, Tuple[str, ...]]] = []
+    added: Dict[str, Set[str]] = {}
+    for word in dependents:
+        if word in blue:  # color_for(subject) is not GREEN
+            continue
+        if not primed[word]:  # if not entry.antonyms: online(w)
+            result = dictionary.lookup(word)
+            looked_up.append((word, tuple(sorted(result))))
+            primed[word] = True
+            effective[word] |= depset & result
+        found = effective[word]  # dependents & entry.antonyms
+        if not found:
+            continue
+        blue.add(word)
+        for other in sorted(found):
+            blue.add(other)
+            primed[other] = True  # entry.antonyms.add(word)
+            effective[other].add(word)
+            added.setdefault(other, set()).add(word)
+            positive, negative = (
+                (word, other)
+                if dictionary.is_positive(word, other)
+                else (other, word)
+            )
+            pairs.append((positive, negative))
+    return SubjectSemantics(
+        pairs=tuple(pairs),
+        blue=tuple(sorted(blue)),
+        looked_up=tuple(looked_up),
+        added=tuple(
+            (word, tuple(sorted(partners)))
+            for word, partners in sorted(added.items())
+        ),
+    )
+
+
+#: An analysis unit as the fold visits it: subject, memo key, and the
+#: step outcome.  ``key = (dictionary signature, sorted dependents,
+#: observable pre-states)`` — everything the step reads.
+AnalysisUnit = Tuple[str, tuple, "SubjectSemantics"]
+
+
+def _analyse_table(
+    table: Mapping[str, Set[str]],
+    dictionary: AntonymDictionary,
+    units: Optional[List[AnalysisUnit]] = None,
+    dict_sig: Optional[tuple] = None,
+) -> SemanticAnalysis:
+    """Algorithm 1 as a fold of memoised per-subject steps.
+
+    Walks the subjects in sorted order, threading each word's full
+    antonym memo through the steps; every step is served from the
+    process-wide ``semantics`` stage when its (dependents, observable
+    pre-states) key has been computed before — by this document, another
+    session, or another thread.  *units*, when given, collects the
+    visited units for delta attribution.  *dict_sig* lets callers that
+    already computed :meth:`AntonymDictionary.signature` (the translator
+    keys raw formulas by it) avoid rebuilding it per check.
+    """
+    shared = shared_graph()
+    if dict_sig is None:
+        dict_sig = dictionary.signature()
+
     wordset: Dict[str, WordEntry] = {}
-    for dependents in subjects.values():
+    for dependents in table.values():
+        for word in sorted(dependents):
+            wordset.setdefault(word, WordEntry(word))
+
+    state: Dict[str, Optional[Set[str]]] = {word: None for word in wordset}
+    pairs_by_subject: Dict[str, List[Tuple[str, str]]] = {}
+    for subject in sorted(table):
+        dependents = table[subject]
+        if len(dependents) <= 1:
+            # A single dependent cannot form a pair within this subject;
+            # Algorithm 1 skips it (line 3: |s.dep| > 1).
+            continue
+        ordered = tuple(sorted(dependents))
+        depset = set(ordered)
+        pre = tuple(_project(state[word], depset) for word in ordered)
+        key = (dict_sig, ordered, pre)
+        unit = shared.compute(
+            "semantics",
+            key,
+            lambda ordered=ordered, pre=pre: _replay_subject(
+                ordered, pre, dictionary
+            ),
+        )
+        if units is not None:
+            units.append((subject, key, unit))
+        # Apply the step's state delta to the threaded full memos.
+        for word, result in unit.looked_up:
+            state[word] = set(result)
+        for word, partners in unit.added:
+            memo = state[word]
+            if memo is None:
+                memo = state[word] = set()
+            memo.update(partners)
+        for word in unit.blue:
+            wordset[word].colors[subject] = Color.BLUE
+        if unit.pairs:
+            pairs_by_subject[subject] = [tuple(pair) for pair in unit.pairs]
+
+    for word, accumulated in state.items():
+        if accumulated is not None:
+            wordset[word].antonyms = set(accumulated)
+    return SemanticAnalysis(wordset, pairs_by_subject, dictionary)
+
+
+def _analyse_table_monolithic(
+    table: Mapping[str, Set[str]], dictionary: AntonymDictionary
+) -> SemanticAnalysis:
+    """The paper's Algorithm 1 as one loop over the whole table.
+
+    Kept verbatim as the reference implementation: the differential tests
+    assert the component decomposition reproduces it exactly, including
+    the order-coupled ``wordset`` mutations.
+    """
+    wordset: Dict[str, WordEntry] = {}
+    for dependents in table.values():
         for word in sorted(dependents):
             wordset.setdefault(word, WordEntry(word))
 
     pairs_by_subject: Dict[str, List[Tuple[str, str]]] = {}
-    for subject in sorted(subjects):
-        dependents = subjects[subject]
+    for subject in sorted(table):
+        dependents = table[subject]
         if len(dependents) <= 1:
-            # A single dependent cannot form a pair within this subject;
-            # Algorithm 1 skips it (line 3: |s.dep| > 1).
             continue
         for word in sorted(dependents):
             entry = wordset[word]
@@ -177,6 +387,99 @@ def analyse(
                     (positive, negative)
                 )
     return SemanticAnalysis(wordset, pairs_by_subject, dictionary)
+
+
+def analyse(
+    sentences: Sequence[Sentence],
+    dictionary: Optional[AntonymDictionary] = None,
+) -> SemanticAnalysis:
+    """Run Algorithm 1 over a parsed specification."""
+    if dictionary is None:
+        dictionary = AntonymDictionary.default()
+    return _analyse_table(subject_dependents(sentences), dictionary)
+
+
+def analyse_incremental(
+    items: Sequence[Tuple[str, Sentence]],
+    dictionary: AntonymDictionary,
+    graph: AnalysisGraph,
+    touched: Optional[Dict[str, set]] = None,
+    dict_sig: Optional[tuple] = None,
+) -> Tuple[SemanticAnalysis, SemanticsDelta]:
+    """Algorithm 1 through the analysis graph, with delta attribution.
+
+    *items* are ``(text, parsed sentence)`` in document order; *graph* is
+    the calling document's graph (a
+    :class:`~repro.translate.translator.TranslationCache` owns one).  Per
+    sentence, a ``vocab`` node (keyed by text, edged to the parse node)
+    caches the sentence's subject/dependent contributions; the merged
+    table then folds through the process-wide ``semantics`` stage one
+    analysis unit per pairing subject.  A per-document ``semantics_seen``
+    stage — edged to the vocabulary nodes the unit's subject came from —
+    records which unit keys earlier passes of *this* document produced,
+    so the returned :class:`SemanticsDelta` attributes exactly the
+    sentences whose unit an edit dirtied (by changing its dependents *or*
+    the antonym-memo pre-states threaded into it), deterministically even
+    when other sessions share the process-wide memo.
+    """
+    contributions = []
+    for text, sentence in items:
+        contributions.append(
+            graph.compute(
+                "vocab",
+                text,
+                lambda sentence=sentence: sentence_vocabulary(sentence),
+                deps=(("parses", text),),
+                touched=touched,
+            )
+        )
+
+    table: Dict[str, Set[str]] = {}
+    owners: Dict[str, Set[int]] = {}  # subject -> sentence indices
+    for index, vocabulary in enumerate(contributions):
+        for subject, dependents in vocabulary:
+            table.setdefault(subject, set()).update(dependents)
+            owners.setdefault(subject, set()).add(index)
+
+    units: List[AnalysisUnit] = []
+    analysis = _analyse_table(table, dictionary, units=units, dict_sig=dict_sig)
+
+    # Seen-ness is evaluated against the *pre-pass* state for every unit
+    # before any unit is marked, so units sharing one memo key (identical
+    # dependents and pre-states) all count as fresh on their first pass.
+    flags = [
+        (subject, key, graph.contains("semantics_seen", key))
+        for subject, key, _ in units
+    ]
+    reanalysed: Set[int] = set()
+    reanalysed_units = 0
+    for subject, key, seen in flags:
+        graph.compute(
+            "semantics_seen",
+            key,
+            lambda: True,
+            deps=tuple(
+                ("vocab", items[index][0]) for index in sorted(owners[subject])
+            ),
+            touched=touched,
+        )
+        if not seen:
+            reanalysed_units += 1
+            reanalysed.update(owners[subject])
+
+    delta = SemanticsDelta(
+        components=len(units),
+        reanalysed_components=reanalysed_units,
+        reused_components=len(units) - reanalysed_units,
+        reanalysed=tuple(sorted(reanalysed)),
+    )
+    return analysis, delta
+
+
+
+def semantics_cache_info() -> StageStats:
+    """Statistics of the process-wide Algorithm 1 component memo."""
+    return shared_graph().stats()["semantics"]
 
 
 def no_reasoning() -> SemanticAnalysis:

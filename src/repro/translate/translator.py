@@ -5,21 +5,39 @@ template instantiation, time abstraction (Section IV-E) and the I/O
 partition heuristic (Section IV-F).  The output
 :class:`SpecificationTranslation` is what the consistency-checking stage
 (:mod:`repro.core`) consumes.
+
+Every stage runs through an incremental analysis graph
+(:class:`repro.core.graph.AnalysisGraph`): parses, per-sentence
+vocabulary, raw formulas, theta solutions, chain rewrites and the final
+partition are nodes keyed by content signatures, with edges recording
+what each node was derived from.  Re-translating after an edit therefore
+recomputes exactly the nodes whose signatures the edit changed — in
+particular, a raw formula is keyed by the *sentence-local* slice of the
+semantic analysis (the antonym pairs of the sentence's own candidate
+subjects), so a new antonym pair under one subject invalidates only the
+sentences that mention that subject, not the whole document.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core.graph import AnalysisGraph
 from ..logic.ast import Formula, atoms as formula_atoms
 from ..logic.rewrite import simplify
 from ..nlp.antonyms import AntonymDictionary
+from ..nlp.dependencies import candidate_subjects
 from ..nlp.grammar import Sentence, parse_sentence
 from ..nlp.tokenizer import split_sentences
 from ..smt.timeopt import Sign
 from .partition import Partition, partition_formulas
-from .semantics import SemanticAnalysis, analyse, no_reasoning
+from .semantics import (
+    SemanticAnalysis,
+    SemanticsDelta,
+    analyse_incremental,
+    no_reasoning,
+)
 from .templates import TranslationOptions, sentence_formula
 from .timeabs import (
     AbstractionMethod,
@@ -49,6 +67,9 @@ class SpecificationTranslation:
     analysis: SemanticAnalysis
     abstraction: AbstractionResult
     partition: Partition
+    #: What Algorithm 1 actually re-ran for this translation (populated by
+    #: graph-backed translations with semantic reasoning enabled).
+    semantics_delta: Optional[SemanticsDelta] = None
 
     @property
     def formulas(self) -> Tuple[Formula, ...]:
@@ -78,75 +99,96 @@ class SpecificationTranslation:
         return "\n".join(lines)
 
 
+#: Stages of a per-document translation graph, in pipeline order.
+DOCUMENT_STAGES: Tuple[str, ...] = (
+    "parses",  # text -> Sentence
+    "vocab",  # text -> Algorithm 1 contributions (subject, dependents)
+    "semantics_seen",  # component signature -> True (delta attribution)
+    "raw_formulas",  # (text, sentence-local analysis slice) -> Formula
+    "solutions",  # (thetas, method, bound, signs) -> abstraction solve
+    "rewritten",  # (raw formula, solution key) -> rewritten formula
+    "partitions",  # final formula tuple -> Partition
+)
+
+
 class TranslationCache:
-    """Per-sentence memos enabling incremental re-translation.
+    """Per-document analysis graph enabling incremental re-translation.
 
     Translation is *mostly* per-sentence work (parsing, template
     instantiation) glued together by two global passes: semantic reasoning
-    (Algorithm 1 runs over all sentences) and time abstraction (one solve
-    over the specification's chain lengths).  The cache therefore keys
-    every per-sentence artefact by the sentence text *plus* the global
-    context it depends on — the semantic-analysis signature for raw
-    formulas, the solved theta mapping for rewrites — so reuse is exact:
+    (Algorithm 1) and time abstraction (one solve over the specification's
+    chain lengths).  Both passes now decompose: the analysis splits into
+    vocabulary components cached process-wide, and each per-sentence
+    artefact is a graph node keyed by the sentence text *plus* exactly the
+    slice of global context it reads — so reuse is exact:
     ``translate(requirements, cache)`` returns the same translation as a
-    fresh ``translate(requirements)``, only skipping work for sentences
-    whose text and global context are unchanged.
+    fresh ``translate(requirements)``, only skipping work for nodes whose
+    signatures are unchanged.
 
     A cache is tied to the :class:`Translator` that created it (options,
     dictionary and abstraction settings are deliberately not part of the
-    keys); obtain one from :meth:`Translator.new_cache`.  Single-document
-    sessions keep one alive across edits; sharing one across threads is
-    not supported.
+    keys); obtain one from :meth:`Translator.new_cache`.  Safe to share
+    across threads (batch checking does); single-document sessions keep
+    one alive across edits.
 
     Memory: a long edit stream would otherwise accumulate every sentence
-    ever seen (under every stale analysis signature and theta mapping),
-    each entry pinning interned formula nodes alive.  Each memo is
-    therefore bounded: when it outgrows *max_entries*, it is pruned back
-    to the keys the current translation actually used — exactly the hot
-    set the next edit's re-check needs.
+    ever seen (under every stale analysis slice and theta mapping), each
+    entry pinning interned formula nodes alive.  Each stage is therefore
+    bounded: when it outgrows *max_entries*, :meth:`AnalysisGraph.retain`
+    prunes it back to the nodes the current translation actually touched —
+    exactly the hot set the next edit's re-check needs.
     """
 
     def __init__(self, max_entries: int = 2048) -> None:
-        self.max_entries = max_entries
-        self.parses: Dict[str, Sentence] = {}
-        self.raw_formulas: Dict[tuple, Formula] = {}
-        self.solutions: Dict[tuple, object] = {}
-        self.rewritten: Dict[tuple, Formula] = {}
+        self._max_entries = max_entries
+        self.graph = AnalysisGraph(DOCUMENT_STAGES, max_entries=max_entries)
 
-    def prune(self, used: Dict[str, set]) -> None:
-        """Drop entries a completed translation did not touch, per memo,
-        but only once a memo exceeds its bound (cheap steady state)."""
-        for name, keys in used.items():
-            memo = getattr(self, name)
-            if len(memo) > self.max_entries:
-                setattr(self, name, {key: memo[key] for key in keys if key in memo})
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    @max_entries.setter
+    def max_entries(self, value: int) -> None:
+        self._max_entries = value
+        self.graph.set_capacity(value)
 
     def stats(self) -> Dict[str, int]:
-        return {
-            "parses": len(self.parses),
-            "raw_formulas": len(self.raw_formulas),
-            "solutions": len(self.solutions),
-            "rewritten": len(self.rewritten),
-        }
+        """Per-stage node counts (legacy memo-size shape)."""
+        return self.graph.sizes()
+
+    def clear(self) -> None:
+        """Drop every node (cold-path measurements; releases pinned
+        formulas).  Process-wide stages are cleared separately by
+        :meth:`repro.SpecCC.clear_caches`."""
+        self.graph.clear()
 
     def parse(self, text: str) -> Sentence:
-        sentence = self.parses.get(text)
-        if sentence is None:
-            sentence = self.parses[text] = parse_sentence(text)
-        return sentence
+        return self.graph.compute("parses", text, lambda: parse_sentence(text))
 
 
-def _analysis_signature(analysis: SemanticAnalysis) -> tuple:
-    """Everything :meth:`SemanticAnalysis.reduce` can read, hashably.
+def _touched() -> Dict[str, set]:
+    return {stage: set() for stage in DOCUMENT_STAGES}
 
-    Two analyses with equal signatures reduce every proposition
-    identically, so raw formulas cached under one are valid under the
-    other.  (The dictionary is per-translator and the cache is
-    per-translator, so it does not participate.)
+
+def _sentence_signature(analysis: SemanticAnalysis, sentence: Sentence) -> tuple:
+    """The slice of *analysis* this sentence's translation can read.
+
+    :meth:`SemanticAnalysis.reduce` consults exactly the antonym pairs of
+    an antonym-candidate proposition's subject (plus the dictionary and
+    morphology, which are translator-constant), so two analyses agreeing
+    on the sentence's candidate subjects translate it identically.  Keying
+    raw formulas by this slice instead of the whole-document pair set is
+    what keeps an antonym-pair change local to the sentences that mention
+    the affected subject.
     """
     if not analysis.enabled:
         return (False,)
-    return (True, tuple(analysis.antonym_pairs()))
+    relevant = []
+    for subject in sorted(candidate_subjects(sentence)):
+        pairs = analysis.pairs_by_subject.get(subject)
+        if pairs:
+            relevant.append((subject, tuple(pairs)))
+    return (True, tuple(relevant))
 
 
 class Translator:
@@ -165,10 +207,17 @@ class Translator:
         self.abstraction = abstraction
         self.error_bound = error_bound
         self.signs = signs
+        # The translator's own graph: one-shot `SpecCC.check` calls reuse
+        # it across documents, so even the stateless API is incremental.
+        self._default_cache = TranslationCache()
 
     def new_cache(self) -> TranslationCache:
         """A fresh :class:`TranslationCache` for incremental workloads."""
         return TranslationCache()
+
+    def cache(self) -> TranslationCache:
+        """The translator's default (per-instance) cache."""
+        return self._default_cache
 
     def translate(
         self,
@@ -177,42 +226,62 @@ class Translator:
     ) -> SpecificationTranslation:
         """Translate ``(identifier, sentence)`` pairs into a specification.
 
-        With a *cache* (see :meth:`new_cache`), only sentences whose text
-        — or whose global context: antonym pairs, chain-length set —
-        changed since the previous call are re-translated; the result is
-        identical to a cache-less run.
+        Runs on *cache*'s analysis graph (default: the translator's own),
+        so only sentences whose text — or whose signature-relevant global
+        context: the antonym pairs of their own subjects, the chain-length
+        set — changed since the previous call are re-translated; the
+        result is identical to a cache-less run.
         """
         if cache is None:
-            cache = TranslationCache()
-        used: Dict[str, set] = {
-            "parses": set(),
-            "raw_formulas": set(),
-            "solutions": set(),
-            "rewritten": set(),
-        }
+            cache = self._default_cache
+        graph = cache.graph
+        touched = _touched()
         sentences = []
         for identifier, text in requirements:
-            used["parses"].add(text)
-            sentences.append((identifier, text, cache.parse(text)))
+            parsed = graph.compute(
+                "parses",
+                text,
+                lambda text=text: parse_sentence(text),
+                touched=touched,
+            )
+            sentences.append((identifier, text, parsed))
+
+        # Computed once per check: Algorithm 1's unit keys and the raw
+        # formulas below both incorporate it (raw formulas read the
+        # dictionary directly through the curated-positive fallback in
+        # SemanticAnalysis.reduce, so a mutated dictionary must miss even
+        # through the translator's persistent default graph).
+        dict_sig = self.dictionary.signature()
+        delta: Optional[SemanticsDelta] = None
         if self.options.semantic_reasoning:
-            analysis = analyse([s for _, _, s in sentences], self.dictionary)
+            analysis, delta = analyse_incremental(
+                [(text, sentence) for _, text, sentence in sentences],
+                self.dictionary,
+                graph,
+                touched=touched,
+                dict_sig=dict_sig,
+            )
         else:
             analysis = no_reasoning()
-        signature = _analysis_signature(analysis)
 
         raw_formulas: List[Formula] = []
         for _, text, sentence in sentences:
-            key = (text, signature)
-            used["raw_formulas"].add(key)
-            raw = cache.raw_formulas.get(key)
-            if raw is None:
-                raw = cache.raw_formulas[key] = sentence_formula(
+            key = (text, dict_sig, _sentence_signature(analysis, sentence))
+            # Vocabulary nodes only exist when semantic reasoning ran.
+            parse_node = ("parses", text)
+            deps = (parse_node, ("vocab", text)) if delta is not None else (parse_node,)
+            raw = graph.compute(
+                "raw_formulas",
+                key,
+                lambda sentence=sentence: sentence_formula(
                     sentence, analysis, self.options
-                )
+                ),
+                deps=deps,
+                touched=touched,
+            )
             raw_formulas.append(raw)
 
-        abstraction = self._abstract(raw_formulas, cache, used)
-        cache.prune(used)
+        abstraction = self._abstract(raw_formulas, graph, touched)
         translated = [
             RequirementTranslation(
                 identifier, text, sentence, raw, simplify(abstracted)
@@ -221,25 +290,36 @@ class Translator:
                 sentences, raw_formulas, abstraction.formulas
             )
         ]
-        partition = partition_formulas([req.formula for req in translated])
-        return SpecificationTranslation(translated, analysis, abstraction, partition)
+        final_formulas = tuple(req.formula for req in translated)
+        partition = graph.compute(
+            "partitions",
+            final_formulas,
+            lambda: partition_formulas(list(final_formulas)),
+            touched=touched,
+        )
+        graph.retain(touched)
+        return SpecificationTranslation(
+            translated, analysis, abstraction, partition, semantics_delta=delta
+        )
 
     def _abstract(
         self,
         raw_formulas: Sequence[Formula],
-        cache: TranslationCache,
-        used: Dict[str, set],
+        graph: AnalysisGraph,
+        touched: Dict[str, set],
     ) -> AbstractionResult:
         """Time abstraction with the solve and per-formula rewrites memoised."""
         thetas = chain_lengths(raw_formulas)
         signs = tuple(self.signs) if self.signs is not None else None
         key = (thetas, self.abstraction, self.error_bound, signs)
-        used["solutions"].add(key)
-        solution = cache.solutions.get(key)
-        if solution is None:
-            solution = cache.solutions[key] = solve_abstraction(
+        solution = graph.compute(
+            "solutions",
+            key,
+            lambda: solve_abstraction(
                 thetas, self.abstraction, self.error_bound, self.signs
-            )
+            ),
+            touched=touched,
+        )
         if self.abstraction is AbstractionMethod.NONE or not thetas:
             return AbstractionResult(
                 tuple(raw_formulas), solution, self.abstraction, thetas
@@ -247,13 +327,13 @@ class Translator:
         mapping = dict(zip(thetas, solution.scaled))
         rewritten = []
         for raw in raw_formulas:
-            formula_key = (raw, key)
-            used["rewritten"].add(formula_key)
-            formula = cache.rewritten.get(formula_key)
-            if formula is None:
-                formula = cache.rewritten[formula_key] = rewrite_chains(
-                    raw, mapping
-                )
+            formula = graph.compute(
+                "rewritten",
+                (raw, key),
+                lambda raw=raw: rewrite_chains(raw, mapping),
+                deps=(("solutions", key),),
+                touched=touched,
+            )
             rewritten.append(formula)
         return AbstractionResult(
             tuple(rewritten), solution, self.abstraction, thetas

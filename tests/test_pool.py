@@ -33,6 +33,11 @@ DOCS = [
         "If the button is pressed, the lamp is activated.\n"
         "If the alarm is issued, the door is not opened.\n",
     ),
+    (
+        "antonyms",  # a two-dependent subject: drives the semantics memo
+        "If the feed is valid, the lamp is activated.\n"
+        "If the feed is invalid, the lamp is not activated.\n",
+    ),
 ]
 
 
@@ -104,6 +109,14 @@ class TestWorkerPool:
             second["worker_cache"]["hits"]
             >= first["worker_cache"]["hits"] + len(DOCS)
         )
+        # The Algorithm 1 memo warms the same way: the corpus has antonym
+        # vocabulary, and the second pass replays none of it.
+        assert first["worker_semantics"]["misses"] > 0
+        assert (
+            second["worker_semantics"]["misses"]
+            == first["worker_semantics"]["misses"]
+        )
+        assert second["worker_semantics"]["hits"] > first["worker_semantics"]["hits"]
         assert second["affinity_repeats"] == len(DOCS)
         assert second["distinct_signatures"] == len(DOCS)
         assert second["tasks"] == 2 * len(DOCS)
@@ -137,6 +150,7 @@ class TestWorkerPool:
         assert len(snapshots) == 2
         for snapshot in snapshots:
             assert "component_cache" in snapshot
+            assert "semantics" in snapshot
             assert "synthesis" in snapshot
         # The corpus was split over the shards, so at least one worker
         # actually analysed something.

@@ -168,6 +168,176 @@ class TestSpecSession:
         assert session.check().consistent
 
 
+class TestIncrementalSemantics:
+    """Session invalidation through the analysis graph: Algorithm 1 runs
+    only for sentences whose vocabulary an edit actually intersects,
+    asserted via the semantics cache counters — with reports byte-identical
+    to a fresh sequential check throughout."""
+
+    #: Two antonym-coupled pairs over disjoint subjects plus one sentence
+    #: with no adjective vocabulary at all.
+    DOC = [
+        ("R1", "If the pulse wave is available, the alarm is sounded."),
+        ("R2", "If the pulse wave is unavailable, the alarm is not sounded."),
+        ("R3", "If the feed is valid, the lamp is activated."),
+        ("R4", "If the feed is invalid, the lamp is not activated."),
+        ("R5", "If the button is pressed, the door is opened."),
+    ]
+
+    def fresh_bytes(self, session):
+        report = SpecCC().check(session.requirements())
+        return json.dumps(report_to_dict(report, timings=False), sort_keys=True)
+
+    def session_bytes(self, session_report):
+        return json.dumps(
+            report_to_dict(session_report.report, timings=False), sort_keys=True
+        )
+
+    def make(self):
+        session = SpecSession()
+        for identifier, sentence in self.DOC:
+            session.add(identifier, sentence)
+        return session
+
+    def test_first_check_analyses_all_vocabulary_sentences(self):
+        session = self.make()
+        report = session.check()
+        delta = report.delta
+        assert delta.semantics_components == 2  # pulse_wave, feed
+        assert delta.semantics_reanalysed == ("R1", "R2", "R3", "R4")  # not R5
+        assert report.consistent
+
+    def test_edit_reanalyses_only_vocabulary_affected_sentences(self):
+        """The acceptance criterion, in miniature: editing one sentence
+        re-runs Algorithm 1 only for its own vocabulary component."""
+        SpecCC.clear_caches()  # exact counter deltas need a cold memo
+        session = self.make()
+        session.check()
+
+        session.update("R3", "If the feed is lost, the lamp is activated.")
+        report = session.check()
+        delta = report.delta
+        # Algorithm 1 re-ran for the feed component only: R3 and the
+        # untouched-but-coupled R4 — never for the pulse-wave sentences.
+        assert delta.semantics_reanalysed == ("R3", "R4")
+        assert delta.semantics_misses == 1  # one component replayed
+        assert delta.semantics_hits >= 1  # the other came from the memo
+        assert self.session_bytes(report) == self.fresh_bytes(session)
+
+    def test_new_antonym_pair_invalidates_previously_unrelated_sentence(self):
+        """An edit that *introduces* a pair under another sentence's subject
+        must re-analyse that sentence (its propositions are rewritten
+        through the new pair) while leaving the rest untouched."""
+        session = SpecSession()
+        session.add("R1", "If the signal is high, the alarm is sounded.")
+        session.add("R2", "If the sensor is active, the lamp is activated.")
+        first = session.check()
+        # Single-dependent subjects form no analysis unit (Algorithm 1
+        # line 3 skips them), so nothing ran yet.
+        assert first.delta.semantics_components == 0
+        assert first.delta.semantics_reanalysed == ()
+        formula_before = str(first.report.translation.requirements[0].formula)
+
+        # R3's vocabulary joins R1's subject and forms the (high, low) pair.
+        session.add("R3", "If the signal is low, the door is opened.")
+        report = session.check()
+        delta = report.delta
+        assert delta.semantics_reanalysed == ("R1", "R3")
+        assert "R2" not in delta.semantics_reanalysed
+        # The pair really changed R1's translation (single-pair
+        # abbreviation renames the proposition), so the invalidation was
+        # load-bearing, not cosmetic.
+        formula_after = str(report.report.translation.requirements[0].formula)
+        assert formula_before != formula_after
+        assert self.session_bytes(report) == self.fresh_bytes(session)
+
+    def test_remove_then_readd_reuses_everything(self):
+        session = self.make()
+        session.check()
+        session.remove("R2")
+        session.check()
+
+        session.add("R2", dict(self.DOC)["R2"])
+        report = session.check()
+        delta = report.delta
+        # The re-added sentence restores a component signature the session
+        # graph has already seen: no Algorithm 1 replay, no realizability
+        # analysis, and bytes identical to a fresh run.
+        assert delta.semantics_reanalysed == ()
+        assert delta.semantics_misses == 0
+        assert delta.cache_misses == 0
+        assert self.session_bytes(report) == self.fresh_bytes(session)
+
+    def test_whitespace_edit_reanalyses_zero_components(self):
+        session = self.make()
+        before = session.check()
+        spaced = dict(self.DOC)["R1"].replace(" is ", "  is ", 1)
+        session.update("R1", spaced)
+        report = session.check()
+        delta = report.delta
+        assert delta.edited == ("R1",)
+        assert delta.semantics_reanalysed == ()
+        assert delta.semantics_misses == 0
+        assert delta.cache_misses == 0  # realizability untouched too
+        assert all(not c.reanalyzed for c in delta.components)
+        # Identical formulas and verdicts (only the echoed text differs).
+        assert report.report.translation.formulas == (
+            before.report.translation.formulas
+        )
+        assert self.session_bytes(report) == self.fresh_bytes(session)
+
+    def test_forty_sentence_session_edit_is_vocabulary_local(self):
+        """The acceptance criterion at full size: one edit in a
+        40-sentence session replays Algorithm 1 for exactly one of the 20
+        vocabulary components (2 of 40 sentences), with the report
+        byte-identical to a fresh sequential check."""
+        SpecCC.clear_caches()
+        session = SpecSession()
+        for group in range(1, 21):
+            session.add(
+                f"A{group}",
+                f"If the sensor {group} is active, the device {group} is started.",
+            )
+            session.add(
+                f"B{group}",
+                f"If the sensor {group} is inactive, the device {group} is stopped.",
+            )
+        first = session.check()
+        assert first.delta.semantics_components == 20
+        assert len(first.delta.semantics_reanalysed) == 40
+        # Twenty identical units deduplicate onto two memo nodes: one with
+        # fresh antonym-memo pre-states, one with the threaded states
+        # every subject after the first observes.
+        assert first.delta.semantics_misses == 2
+
+        session.update(
+            "A7", "If the sensor 7 is normal, the device 7 is started."
+        )
+        report = session.check()
+        delta = report.delta
+        assert delta.semantics_reanalysed == ("A7", "B7")
+        assert delta.semantics_misses == 1  # one component of twenty
+        assert delta.semantics_hits >= 19  # the rest came from the memo
+        assert self.session_bytes(report) == self.fresh_bytes(session)
+
+    def test_batch_and_pool_reports_match_session_after_semantic_edit(self):
+        """One document through session, one-shot, and batch (thread and
+        persistent-pool backends): identical canonical bytes."""
+        from repro.service.pool import WorkerPool
+
+        session = self.make()
+        session.check()
+        session.update("R1", "If the pulse wave is lost, the alarm is sounded.")
+        expected = self.session_bytes(session.check())
+
+        document = [(i, t) for i, t in session.requirements()]
+        batch = BatchChecker(workers=2).check_documents([("d", document)])
+        assert json.dumps(batch[0].data, sort_keys=True) == expected
+        with WorkerPool(shards=2) as pool:
+            task = pool.check_documents([("d", document)])[0]
+        assert json.dumps(task.data, sort_keys=True) == expected
+
+
 BATCH_DOCS = [
     ("consistent", "If the sensor is active, the valve is opened.\n"),
     (
@@ -347,6 +517,26 @@ class TestServe:
     def test_stats_surface_pool_counters(self):
         responses = run_serve([{"op": "stats"}])
         assert "pools" in responses[0]  # pool.stats() rows, [] before use
+        # The op speaks the shared stats format: cache layers + engine work.
+        assert "semantics" in responses[0]["cache"]
+        assert "synthesis" in responses[0]
+
+    def test_check_reports_semantics_delta(self):
+        responses = run_serve(
+            [
+                {"op": "add", "id": "R1", "text": "If the feed is valid, the lamp is activated."},
+                {"op": "add", "id": "R2", "text": "If the feed is invalid, the lamp is not activated."},
+                {"op": "check", "timings": False},
+                {"op": "update", "id": "R1", "text": "If the feed is valid, the lamp is  activated."},
+                {"op": "check", "timings": False},
+                {"op": "shutdown"},
+            ]
+        )
+        first, second = responses[2], responses[4]
+        assert first["delta"]["semantics_reanalysed"] == ["R1", "R2"]
+        assert first["delta"]["semantics_components"] == 1
+        # Whitespace-only edit: Algorithm 1 re-ran for nothing.
+        assert second["delta"]["semantics_reanalysed"] == []
 
 
 def run_serve_async(lines):
@@ -628,6 +818,26 @@ class TestCLI:
         assert lines[0]["report"]["consistent"] is True
         assert lines[1]["report"]["consistent"] is False
 
+    def test_check_json_stats_flag(self, tmp_path, capsys):
+        document = tmp_path / "spec.txt"
+        document.write_text(
+            "If the feed is valid, the lamp is activated.\n"
+            "If the feed is invalid, the lamp is not activated.\n"
+        )
+        code = cli_main(["check", str(document), "--json", "--stats"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        stats = data["stats"]
+        assert stats["cache"]["semantics"]["misses"] >= 1
+        assert stats["cache"]["component_cache"]["misses"] >= 1
+        assert "sat_propagations" in stats["synthesis"]
+
+    def test_check_textual_stats_flag(self, tmp_path, capsys):
+        document = tmp_path / "spec.txt"
+        document.write_text("The valve is opened.\n")
+        assert cli_main(["check", str(document), "--stats"]) == 0
+        assert '"semantics"' in capsys.readouterr().out
+
     def test_batch_empty_directory(self, tmp_path):
         assert cli_main(["batch", str(tmp_path)]) == 2
 
@@ -659,6 +869,7 @@ class TestCacheStats:
         stats = SpecCC.cache_stats()
         for key in ("size", "capacity", "hits", "misses"):
             assert key in stats["component_cache"]
+            assert key in stats["semantics"]
         assert "size" in stats["automaton_cache"]
         assert stats["interned_nodes"] >= 0
 
@@ -668,3 +879,63 @@ class TestCacheStats:
         tool.check([("R1", "If the sensor is active, the valve is opened.")])
         after = SpecCC.cache_stats()["component_cache"]
         assert after["hits"] > before["hits"]  # second run served from cache
+
+    def test_semantics_memo_moves_and_clears(self):
+        SpecCC.clear_caches()  # the memo may be warm from earlier tests
+        tool = SpecCC()
+        requirements = [
+            ("R1", "If the feed is valid, the lamp is activated."),
+            ("R2", "If the feed is invalid, the lamp is not activated."),
+        ]
+        before = SpecCC.cache_stats()["semantics"]
+        tool.check(requirements)
+        middle = SpecCC.cache_stats()["semantics"]
+        assert middle["misses"] > before["misses"]  # Algorithm 1 ran
+        tool.check(requirements)
+        after = SpecCC.cache_stats()["semantics"]
+        assert after["misses"] == middle["misses"]  # ... exactly once
+        assert after["hits"] > middle["hits"]
+
+        SpecCC.clear_caches()
+        cleared = SpecCC.cache_stats()["semantics"]
+        assert (cleared["size"], cleared["hits"], cleared["misses"]) == (0, 0, 0)
+
+    def test_dictionary_mutation_invalidates_raw_formulas(self):
+        """The stateless API must pick up dictionary edits even through
+        the translator's persistent default graph: raw formulas read the
+        dictionary directly (curated-positive fallback), so its content
+        signature is part of their node key."""
+        from repro.nlp.antonyms import AntonymDictionary
+
+        requirements = [("R1", "If the slot is occupied, the alarm is sounded.")]
+        tool = SpecCC()
+        before = str(tool.check(requirements).translation.formulas[0])
+        tool.translator.dictionary.add_pair("vacant", "occupied")
+        after = str(tool.check(requirements).translation.formulas[0])
+
+        fresh_dictionary = AntonymDictionary.default()
+        fresh_dictionary.add_pair("vacant", "occupied")
+        fresh = SpecCC(dictionary=fresh_dictionary).check(requirements)
+        assert after == str(fresh.translation.formulas[0])
+        assert after != before  # the pair really rewrote the proposition
+
+    def test_clear_translation_cache_drops_the_tool_graph(self):
+        tool = SpecCC()
+        tool.check([("R1", "If the sensor is active, the valve is opened.")])
+        assert tool.translation_cache_stats()["parses"] == 1
+        tool.clear_translation_cache()
+        assert all(size == 0 for size in tool.translation_cache_stats().values())
+
+    def test_one_shot_tool_is_incremental_across_checks(self):
+        """SpecCC.check rides the translator's own graph: repeating a
+        document re-parses nothing."""
+        tool = SpecCC()
+        requirements = [("R1", "If the sensor is active, the valve is opened.")]
+        tool.check(requirements)
+        sizes = tool.translation_cache_stats()
+        assert sizes["parses"] == 1
+        graph = tool.translator.cache().graph
+        hits_before = graph.stats()["parses"].hits
+        tool.check(requirements)
+        assert graph.stats()["parses"].hits > hits_before
+        assert tool.translation_cache_stats() == sizes
