@@ -18,6 +18,11 @@ for:
   *steady* re-runs the corpus over warm worker caches — the number that
   matters for a long-lived service.  Every backend's canonical reports
   are byte-compared against the sequential ones.
+* **fault_recovery**: the cost of staying correct under failure — the
+  same 13-document pass clean, with one injected worker crash (supervised
+  respawn + retry), and fully degraded to the in-process fallback after
+  the circuit breaker trips; every pass byte-compared against the
+  sequential reference.
 * **async_serve**: the ``serve --async`` front end multiplexing many
   concurrent client sessions over one event loop, with per-session
   responses checked against dedicated sequential serve runs.
@@ -49,7 +54,7 @@ from repro.service.batch import BatchChecker  # noqa: E402
 from repro.service.pool import WorkerPool  # noqa: E402
 from repro.service.server import serve, serve_async  # noqa: E402
 
-SCHEMA = "repro-bench-service/2"
+SCHEMA = "repro-bench-service/3"
 
 
 def _config() -> SpecCCConfig:
@@ -241,6 +246,102 @@ def bench_batch(quick: bool) -> Dict[str, object]:
     return results
 
 
+# --------------------------------------------------------- fault recovery
+def fault_documents() -> List[Tuple[str, str]]:
+    """The 13-document soak corpus (same size as the CI fault step):
+    mostly consistent one-liners with a few contradictions mixed in."""
+    documents = []
+    for index in range(1, 14):
+        if index % 4 == 0:
+            text = (
+                f"The pump {index} is started.\n"
+                f"The pump {index} is not started.\n"
+            )
+        else:
+            text = f"If the sensor {index} is active, the device {index} is started.\n"
+        documents.append((f"doc{index}", text))
+    return documents
+
+
+def bench_fault_recovery(quick: bool) -> Dict[str, object]:
+    """What supervised recovery costs: the same 13-document pass clean,
+    with one injected worker crash (respawn + retry), and with the pool
+    fully degraded to the in-process fallback path.  Every pass must stay
+    byte-identical to the sequential reference."""
+    from repro.service.faults import FaultPlan, FaultSpec
+    from repro.service.supervision import SupervisionConfig
+
+    documents = fault_documents()
+    SpecCC.clear_caches()
+    baseline = BatchChecker(config=_config(), workers=1).check_documents(documents)
+    canonical = [json.dumps(result.data, sort_keys=True) for result in baseline]
+
+    def run_pool(fault_plan, supervision):
+        SpecCC.clear_caches()
+        with WorkerPool(
+            config=_config(),
+            shards=2,
+            supervision=supervision,
+            fault_plan=fault_plan,
+        ) as pool:
+            pool.ensure_started()
+            start = time.perf_counter()
+            tasks = pool.check_documents(documents)
+            seconds = time.perf_counter() - start
+            payload = [json.dumps(task.data, sort_keys=True) for task in tasks]
+            return seconds, payload == canonical, pool.stats()["supervision"]
+
+    fast_backoff = dict(backoff_base=0.01, backoff_cap=0.05, seed=7)
+
+    clean_seconds, clean_match, _ = run_pool(
+        FaultPlan([]), SupervisionConfig(**fast_backoff)
+    )
+
+    # One worker crash mid-pass: the supervisor respawns the shard and
+    # retries the lost document.
+    crash_seconds, crash_match, crash_stats = run_pool(
+        FaultPlan([FaultSpec(kind="crash", shard=0, task=2, max_spawn=0)], seed=7),
+        SupervisionConfig(**fast_backoff),
+    )
+
+    # Degraded mode: the first task of every worker crashes and every
+    # respawn dies during init, so the circuit breaker trips and the whole
+    # corpus runs on the in-process fallback path.
+    degraded_seconds, degraded_match, degraded_stats = run_pool(
+        FaultPlan(
+            [
+                FaultSpec(kind="crash", task=0, times=-1),
+                FaultSpec(kind="crash_init", min_spawn=1, times=-1),
+            ],
+            seed=7,
+        ),
+        SupervisionConfig(max_respawn_failures=1, **fast_backoff),
+    )
+
+    return {
+        "documents": len(documents),
+        "clean": {
+            "seconds": clean_seconds,
+            "docs_per_sec": _rate(len(documents), clean_seconds),
+        },
+        "one_crash": {
+            "seconds": crash_seconds,
+            "docs_per_sec": _rate(len(documents), crash_seconds),
+            "added_latency_seconds": round(crash_seconds - clean_seconds, 4),
+            "worker_deaths": crash_stats["worker_deaths"],
+            "restarts": crash_stats["restarts"],
+            "retries": crash_stats["retries"],
+        },
+        "degraded": {
+            "seconds": degraded_seconds,
+            "docs_per_sec": _rate(len(documents), degraded_seconds),
+            "degraded_tasks": degraded_stats["degraded_tasks"],
+            "circuit_open": degraded_stats["circuit_open"],
+        },
+        "byte_identical": clean_match and crash_match and degraded_match,
+    }
+
+
 # ------------------------------------------------------------- async serve
 def client_script(client: int) -> List[dict]:
     """One client session's requests, over a client-private variable pool."""
@@ -337,6 +438,7 @@ def build_report(quick: bool) -> Dict:
         "platform": platform.platform(),
         "edit_loop": bench_edit_loop(quick),
         "batch": bench_batch(quick),
+        "fault_recovery": bench_fault_recovery(quick),
         "async_serve": bench_async_serve(quick),
     }
 
@@ -387,6 +489,15 @@ def main(argv: List[str] | None = None) -> int:
                 f"worker hit rate {data['stats']['worker_cache']['hit_rate']})"
             )
     print(f"deterministic: {report['batch']['deterministic']}")
+    fault = report["fault_recovery"]
+    print(
+        f"fault_recovery: clean {fault['clean']['docs_per_sec']} docs/s  "
+        f"one-crash {fault['one_crash']['docs_per_sec']} docs/s "
+        f"(+{fault['one_crash']['added_latency_seconds']}s, "
+        f"{fault['one_crash']['restarts']} restart)  "
+        f"degraded {fault['degraded']['docs_per_sec']} docs/s  "
+        f"byte_identical: {fault['byte_identical']}"
+    )
     async_serve = report["async_serve"]
     print(
         f"async_serve: {async_serve['clients']} clients  "

@@ -87,6 +87,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="asyncio front end: multiplex concurrent sessions (tag requests "
         "with 'session'; batch/check offloaded to the worker pool)",
     )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        help="per-request wall-clock deadline in seconds; an expired "
+        "request gets a structured 'timeout' error (default: none)",
+    )
+    serve.add_argument(
+        "--max-request-bytes",
+        type=int,
+        default=None,
+        help="bound on one raw request line; longer lines get a "
+        "structured 'oversized' error (default: 1 MiB)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="async only: max requests queued per session before new ones "
+        "are rejected with 'overloaded' (default: 64)",
+    )
     _add_config_arguments(serve)
 
     batch = sub.add_parser(
@@ -108,6 +129,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None,
         help="write the JSON-lines results here instead of stdout",
     )
+    batch.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="process backend: per-document wall-clock watchdog in "
+        "seconds; a hung worker is respawned and the document retried "
+        "(default: none)",
+    )
+    batch.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="process backend: supervised tries per document before it "
+        "degrades to the in-process path or an error record (default: 3)",
+    )
     _add_config_arguments(batch)
     return parser
 
@@ -128,8 +164,10 @@ def run_check(args: argparse.Namespace) -> int:
         # With --stats every gauge lives exactly once, under "stats";
         # without it the report keeps its compact "cache" attachment.
         if args.stats:
+            from .service.pool import shared_pool_stats
+
             data = report_to_dict(report)
-            data["stats"] = stats_to_dict(tool)
+            data["stats"] = stats_to_dict(tool, pools=shared_pool_stats())
         else:
             data = report_to_dict(report, cache=tool.cache_stats())
         print(json.dumps(data, indent=2, sort_keys=True))
@@ -145,31 +183,63 @@ def run_check(args: argparse.Namespace) -> int:
         for machine in report.controllers:
             print(machine.describe())
     if args.stats:
+        from .service.pool import shared_pool_stats
         from .service.reportjson import stats_to_dict
 
         print()
-        print(json.dumps(stats_to_dict(tool), indent=2, sort_keys=True))
+        print(
+            json.dumps(
+                stats_to_dict(tool, pools=shared_pool_stats()),
+                indent=2,
+                sort_keys=True,
+            )
+        )
     return 0 if report.consistent else 1
 
 
 def run_serve(args: argparse.Namespace) -> int:
-    from .service.server import serve, serve_async
+    from .service.server import DEFAULT_MAX_REQUEST_BYTES, serve, serve_async
 
     tool = SpecCC(_config_from(args))
+    max_bytes = (
+        args.max_request_bytes
+        if args.max_request_bytes is not None
+        else DEFAULT_MAX_REQUEST_BYTES
+    )
     if args.use_async:
-        return serve_async(tool=tool)
-    return serve(tool=tool)
+        return serve_async(
+            tool=tool,
+            request_timeout=args.request_timeout,
+            max_request_bytes=max_bytes,
+            max_queue=args.max_queue,
+        )
+    return serve(
+        tool=tool,
+        request_timeout=args.request_timeout,
+        max_request_bytes=max_bytes,
+    )
 
 
 def run_batch(args: argparse.Namespace) -> int:
     from .service.batch import BatchChecker
+    from .service.supervision import SupervisionConfig
 
     paths = sorted(args.directory.glob("*.txt"))
     if not paths:
         print(f"no *.txt documents in {args.directory}", file=sys.stderr)
         return 2
+    supervision = None
+    if args.backend == "process" and (
+        args.task_timeout is not None or args.max_attempts != 3
+    ):
+        supervision = SupervisionConfig(
+            task_timeout=args.task_timeout, max_attempts=args.max_attempts
+        )
     checker = BatchChecker(
-        config=_config_from(args), workers=args.workers, backend=args.backend
+        config=_config_from(args),
+        workers=args.workers,
+        backend=args.backend,
+        supervision=supervision,
     )
     results = checker.check_documents(
         [(path.name, path.read_text()) for path in paths]

@@ -58,6 +58,26 @@ from ..translate.translator import (
     Translator,
 )
 
+# --------------------------------------------------------- fault hook point
+# Deterministic fault injection (repro.service.faults) needs a seam where
+# "the pipeline raised mid-analysis" can be provoked on schedule.  The hook
+# is process-global, None in ordinary operation, and installed only inside
+# worker processes by their initializer; it receives the stage name
+# ("check_translated" / "check_component") and may raise.
+_FAULT_HOOK = None
+
+
+def set_fault_hook(hook) -> None:
+    """Install (or with ``None`` clear) the process-wide fault hook."""
+    global _FAULT_HOOK
+    _FAULT_HOOK = hook
+
+
+def _fire_fault(stage: str) -> None:
+    hook = _FAULT_HOOK
+    if hook is not None:
+        hook(stage)
+
 
 @dataclass
 class ConsistencyReport:
@@ -230,6 +250,7 @@ class SpecCC:
         self, translation: SpecificationTranslation
     ) -> ConsistencyReport:
         """Stages 2-3 on an already-translated specification."""
+        _fire_fault("check_translated")
         start = time.perf_counter()
         formulas = list(translation.formulas)
         partition = translation.partition
@@ -296,6 +317,7 @@ class SpecCC:
         """
         from ..synthesis.realizability import check_component
 
+        _fire_fault("check_component")
         return check_component(
             component,
             frozenset(partition.inputs),

@@ -19,6 +19,11 @@ hash-consed core and the process-wide component/automaton caches:
 * :func:`serve` / :func:`serve_async` — JSON-lines request loops over
   stdio behind ``python -m repro serve [--async]`` / ``python -m repro
   batch``; the async form multiplexes many concurrent client sessions.
+* :mod:`~repro.service.supervision` / :mod:`~repro.service.faults` — the
+  fault-tolerance layer: pool dispatch is supervised (retry, respawn,
+  watchdog timeout, circuit-breaker degradation to an in-process path),
+  and every failure mode is reproducible on schedule through a seeded
+  :class:`FaultPlan` (or the ``REPRO_FAULTS`` environment variable).
 
 All of them speak the one machine-readable report format in
 :mod:`repro.service.reportjson`, shared with ``python -m repro check
@@ -26,20 +31,28 @@ All of them speak the one machine-readable report format in
 """
 
 from .batch import BatchChecker, BatchResult
+from .faults import FaultInjected, FaultPlan, FaultSpec
 from .pool import WorkerPool, document_signature, shared_pool, shutdown_shared_pools
-from .reportjson import report_to_dict
+from .reportjson import error_to_dict, report_to_dict
 from .session import SessionDelta, SessionReport, SpecSession
-from .server import AsyncSpecServer, serve, serve_async
+from .server import AsyncSpecServer, ServiceError, serve, serve_async
+from .supervision import SupervisionConfig
 
 __all__ = [
     "AsyncSpecServer",
     "BatchChecker",
     "BatchResult",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "ServiceError",
     "SessionDelta",
     "SessionReport",
     "SpecSession",
+    "SupervisionConfig",
     "WorkerPool",
     "document_signature",
+    "error_to_dict",
     "report_to_dict",
     "serve",
     "serve_async",

@@ -45,8 +45,10 @@ from typing import List, Optional, Sequence, Tuple, Union
 from ..core.pipeline import ConsistencyReport, SpecCC, SpecCCConfig
 from ..synthesis.modular import decompose
 from ..translate.translator import SpecificationTranslation, Translator
+from .faults import FaultPlan
 from .pool import WorkerPool, shared_pool
-from .reportjson import report_to_dict
+from .reportjson import error_to_dict, report_to_dict
+from .supervision import SupervisionConfig
 
 #: A work item: a name plus either a plain-text document or explicit
 #: ``(identifier, sentence)`` requirement pairs.
@@ -55,7 +57,13 @@ Document = Union[str, Sequence[Tuple[str, str]]]
 
 @dataclass
 class BatchResult:
-    """Outcome for one named document."""
+    """Outcome for one named document.
+
+    A document whose pipeline raised carries the shared error record
+    (:func:`~repro.service.reportjson.error_to_dict`) as *data* —
+    ``verdict == "error"``, ``error`` non-None — instead of aborting its
+    siblings; this shape is identical across every backend.
+    """
 
     name: str
     data: dict  # canonical report (reportjson, timings excluded)
@@ -68,6 +76,11 @@ class BatchResult:
     @property
     def consistent(self) -> bool:
         return self.data["consistent"]
+
+    @property
+    def error(self) -> Optional[dict]:
+        """``{"type": ..., "message": ...}`` for failed documents."""
+        return self.data.get("error")
 
 
 def _translate_document(
@@ -83,11 +96,20 @@ def _check_document(tool: SpecCC, document: Document) -> ConsistencyReport:
     return tool.check_translated(_translate_document(tool.translator, document))
 
 
+def _checked_to_dict(tool: SpecCC, document: Document) -> dict:
+    """One document → canonical dict, error-isolated: a raising pipeline
+    yields the shared error record instead of propagating."""
+    try:
+        return report_to_dict(_check_document(tool, document), timings=False)
+    except Exception as error:  # noqa: BLE001 - isolated per document
+        return error_to_dict(error)
+
+
 def _process_worker(setup: tuple, item: Tuple[str, Document]) -> dict:
     """Process-pool worker: one document, canonical dict out."""
     config, dictionary, signs = setup
     tool = SpecCC(config, dictionary=dictionary, signs=signs)
-    return report_to_dict(_check_document(tool, item[1]), timings=False)
+    return _checked_to_dict(tool, item[1])
 
 
 class BatchChecker:
@@ -103,6 +125,8 @@ class BatchChecker:
         warm_components: bool = True,
         tool: Optional[SpecCC] = None,
         pool: Optional[WorkerPool] = None,
+        supervision: Optional[SupervisionConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         """*tool* overrides *config*: pass it to check with a non-default
         antonym dictionary or signs (the serve loop does, so its batch
@@ -112,6 +136,9 @@ class BatchChecker:
         shards from the process-wide :func:`~repro.service.pool.shared_pool`
         registry; pass *pool* to pin a specific :class:`WorkerPool`
         instead (tests do, to control pool lifetime and shard counts).
+        *supervision* and *fault_plan* configure the pool's recovery
+        policy and fault schedule when this checker creates it (they are
+        ignored for an injected or already-registered pool).
         """
         if backend not in self.BACKENDS:
             raise ValueError(f"unknown backend {backend!r}")
@@ -123,6 +150,8 @@ class BatchChecker:
         self.backend = backend
         self.warm_components = warm_components
         self.pool = pool
+        self.supervision = supervision
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------ running
     def check_documents(
@@ -139,7 +168,11 @@ class BatchChecker:
         if self.workers == 1:
             results = []
             for name, document in items:
-                report = _check_document(self.tool, document)
+                try:
+                    report = _check_document(self.tool, document)
+                except Exception as error:  # noqa: BLE001 - isolated
+                    results.append(BatchResult(name, error_to_dict(error)))
+                    continue
                 results.append(
                     BatchResult(
                         name, report_to_dict(report, timings=False), report=report
@@ -151,39 +184,62 @@ class BatchChecker:
     # ----------------------------------------------------------- backends
     def _run_threads(self, items: List[Tuple[str, Document]]) -> List[BatchResult]:
         translator = self.tool.translator
+
+        def translate(item):
+            try:
+                return _translate_document(translator, item[1]), None
+            except Exception as error:  # noqa: BLE001 - isolated
+                return None, error
+
+        def warm(unit):
+            try:
+                self.tool.check_component(unit[0], unit[1])
+            except Exception:  # noqa: BLE001 - warming is best-effort
+                pass
+
+        def aggregate(translated):
+            translation, error = translated
+            if translation is None:
+                return None, error
+            try:
+                return self.tool.check_translated(translation), None
+            except Exception as failure:  # noqa: BLE001 - isolated
+                return None, failure
+
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            translations = list(
-                pool.map(
-                    lambda item: _translate_document(translator, item[1]), items
-                )
-            )
+            translations = list(pool.map(translate, items))
 
             if self.warm_components:
                 units = [
                     (component, translation.partition)
-                    for translation in translations
+                    for translation, _ in translations
+                    if translation is not None
                     for component in decompose(list(translation.formulas))
                 ]
                 # Populate the outcome cache; results are discarded — the
                 # aggregation phase re-reads them through the normal path.
-                list(
-                    pool.map(
-                        lambda unit: self.tool.check_component(unit[0], unit[1]),
-                        units,
-                    )
-                )
+                list(pool.map(warm, units))
 
-            reports = list(pool.map(self.tool.check_translated, translations))
+            reports = list(pool.map(aggregate, translations))
         return [
-            BatchResult(name, report_to_dict(report, timings=False), report=report)
-            for (name, _), report in zip(items, reports)
+            BatchResult(
+                name, report_to_dict(report, timings=False), report=report
+            )
+            if report is not None
+            else BatchResult(name, error_to_dict(error))
+            for (name, _), (report, error) in zip(items, reports)
         ]
 
     def _run_pool(self, items: List[Tuple[str, Document]]) -> List[BatchResult]:
         """Dispatch onto the persistent sharded pool (warm worker caches)."""
         pool = self.pool
         if pool is None:
-            pool = shared_pool(tool=self.tool, shards=self.workers)
+            pool = shared_pool(
+                tool=self.tool,
+                shards=self.workers,
+                supervision=self.supervision,
+                fault_plan=self.fault_plan,
+            )
         tasks = pool.check_documents(items)
         return [BatchResult(task.name, task.data) for task in tasks]
 

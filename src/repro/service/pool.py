@@ -18,19 +18,42 @@ over one thread.  :class:`WorkerPool` fixes both halves of that:
   component therefore lands on the worker that already analysed it and
   is served from that worker's LRU instead of recomputing in a cold
   sibling.
+* **Supervision** — every task is dispatched through a
+  :class:`~repro.service.supervision.Supervisor`: worker death
+  (``BrokenProcessPool``), hangs (per-task watchdog timeout) and
+  mid-pipeline exceptions are retried with deterministic backoff, the
+  dead shard is respawned through the same initializer+prewarm, and when
+  respawn itself keeps failing a circuit breaker degrades the pool to an
+  in-process sequential path.  A document whose pipeline raises
+  deterministically resolves to an *error record*
+  (:func:`~repro.service.reportjson.error_to_dict`) instead of aborting
+  its siblings: :meth:`submit` futures never raise for per-document
+  failures.  Fault schedules for testing all of this ride in through
+  :class:`~repro.service.faults.FaultPlan` (or the ``REPRO_FAULTS``
+  environment variable) and are installed inside each worker by the
+  initializer.
+
+Dispatch is serialized per shard by a dedicated dispatcher thread (each
+shard has exactly one worker process, so this costs no throughput): the
+supervisor observes one in-flight task per shard, which makes recovery
+counters exact — a scheduled crash is exactly one ``worker_death``, one
+``restart``, one ``retry`` — and lets tests assert them as equalities.
 
 Determinism is unchanged from the thread backend: workers run the
 ordinary pipeline, caches are semantically transparent, and canonical
 reports (``timings=False``) are byte-identical to a ``workers=1`` run no
-matter how many shards route the traffic — asserted byte-for-byte in
+matter how many shards route the traffic — and no matter which faults
+fire, because retried and degraded tasks run the same pipeline over
+semantically transparent caches.  Asserted byte-for-byte in
 ``tests/test_pool.py``.
 
 Observability: every task ships a per-task component-cache hit/miss
 delta back with its report (see
 :func:`repro.synthesis.realizability.cache_snapshot` — plain picklable
-dicts), and the parent aggregates them with shard-routing counters in
-:meth:`WorkerPool.stats`; :meth:`WorkerPool.worker_snapshots` fetches
-each worker's full cache snapshot on demand.
+dicts), and the parent aggregates them with shard-routing counters and
+the supervisor's recovery counters in :meth:`WorkerPool.stats`;
+:meth:`WorkerPool.worker_snapshots` fetches each worker's full cache
+snapshot on demand.
 
 ``backend="process"`` of :class:`~repro.service.batch.BatchChecker` and
 the async serve front end both draw their pool from the module-level
@@ -43,12 +66,15 @@ from __future__ import annotations
 import atexit
 import hashlib
 import pickle
+import queue
 import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 from ..core.pipeline import SpecCC, SpecCCConfig
+from .faults import FaultPlan
+from .supervision import Supervisor, SupervisionConfig, WorkerUnavailable
 
 #: Mirrors :data:`repro.service.batch.Document` (no import: batch.py
 #: imports this module).
@@ -77,7 +103,14 @@ def document_signature(document: Document) -> str:
 
 
 class PoolTask(NamedTuple):
-    """One completed pool task: canonical report plus attribution."""
+    """One completed pool task: canonical report plus attribution.
+
+    *error* is None for ordinary results; for a document whose pipeline
+    failed on every supervised attempt it holds the error message and
+    *data* holds the shared error-record shape
+    (:func:`~repro.service.reportjson.error_to_dict`).  *attempts* counts
+    supervised tries (1 = first try succeeded).
+    """
 
     name: str
     data: dict  # canonical report (reportjson, timings excluded)
@@ -86,6 +119,8 @@ class PoolTask(NamedTuple):
     cache_misses: int
     semantics_hits: int = 0  # Algorithm 1 memo traffic inside the worker
     semantics_misses: int = 0
+    error: Optional[str] = None
+    attempts: int = 1
 
 
 # ---------------------------------------------------------------- workers
@@ -94,8 +129,20 @@ class PoolTask(NamedTuple):
 _WORKER_TOOL: Optional[SpecCC] = None
 
 
-def _worker_init(setup: tuple, prewarm: bool) -> None:
+def _worker_init(
+    setup: tuple,
+    prewarm: bool,
+    shard: int = 0,
+    spawn: int = 0,
+    fault_plan: Optional[FaultPlan] = None,
+) -> None:
     global _WORKER_TOOL
+    from . import faults
+
+    # Arm (or, under fork, explicitly disarm inherited) fault injection
+    # before anything else: crash_init faults fire here, and the pipeline
+    # hook must be in place before prewarm exercises the pipeline.
+    faults.install(fault_plan, shard=shard, spawn=spawn)
     config, dictionary, signs = setup
     _WORKER_TOOL = SpecCC(config, dictionary=dictionary, signs=signs)
     if prewarm:
@@ -117,12 +164,14 @@ def _counter_snapshot() -> Dict[str, int]:
 
 def _worker_check(item: Tuple[str, Document]) -> Tuple[dict, Dict[str, int]]:
     """Check one document on the resident tool; report + hit/miss deltas."""
+    from . import faults
     from .batch import _check_document
     from .reportjson import report_to_dict
 
     tool = _WORKER_TOOL
     if tool is None:  # pragma: no cover - initializer always runs first
         raise RuntimeError("worker process was not initialized")
+    faults.on_task_start()  # crash/delay faults scheduled for this task
     before = _counter_snapshot()
     report = _check_document(tool, item[1])
     after = _counter_snapshot()
@@ -138,6 +187,20 @@ def _worker_snapshot(_: object = None) -> dict:
     return cache_snapshot()
 
 
+def _terminate_executor(executor: ProcessPoolExecutor) -> None:
+    """Hard-stop an executor whose (single) worker is dead or hung."""
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # noqa: BLE001 - already dead is fine
+            pass
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # noqa: BLE001 - broken executors may complain
+        pass
+
+
 # ------------------------------------------------------------------- pool
 class WorkerPool:
     """Long-lived sharded process pool for document checking.
@@ -148,6 +211,13 @@ class WorkerPool:
     process's warm caches.  Use as a context manager or call
     :meth:`shutdown`; pools obtained from :func:`shared_pool` are shut
     down at interpreter exit.
+
+    *supervision* tunes recovery (retries, backoff, watchdog timeout,
+    circuit breaker — see :class:`~repro.service.supervision.
+    SupervisionConfig`); *fault_plan* installs a deterministic fault
+    schedule in the workers (defaults to the plan named by the
+    ``REPRO_FAULTS`` environment variable; pass ``FaultPlan()`` to force
+    no injection regardless of the environment).
     """
 
     def __init__(
@@ -156,6 +226,8 @@ class WorkerPool:
         shards: int = 4,
         prewarm: bool = True,
         tool: Optional[SpecCC] = None,
+        supervision: Optional[SupervisionConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         """*tool* overrides *config* (mirrors ``BatchChecker``): the
         worker tools are rebuilt from its config, antonym dictionary and
@@ -171,11 +243,24 @@ class WorkerPool:
             template.translator.dictionary,
             template.translator.signs,
         )
+        if fault_plan is None:
+            fault_plan = FaultPlan.from_env()
+        self.fault_plan = fault_plan if fault_plan else None
+        if supervision is None:
+            supervision = SupervisionConfig(
+                seed=self.fault_plan.seed if self.fault_plan else 0
+            )
+        self.supervision = supervision
+        self._supervisor = Supervisor(self, supervision)
         self._executors: List[Optional[ProcessPoolExecutor]] = [None] * shards
+        self._spawns = [0] * shards  # spawn generation per shard
+        self._queues: List["queue.Queue"] = [queue.Queue() for _ in range(shards)]
+        self._dispatchers: List[Optional[threading.Thread]] = [None] * shards
+        self._inline_tool: Optional[SpecCC] = None
         self._lock = threading.Lock()
         self._closed = False
         self._startup_seconds: Optional[float] = None
-        # Counters (all guarded by _lock; callbacks fire on executor threads).
+        # Counters (all guarded by _lock; dispatcher threads update them).
         self._tasks = 0
         self._failures = 0
         self._per_shard = [0] * shards
@@ -187,6 +272,27 @@ class WorkerPool:
         self._affinity_repeats = 0
 
     # ---------------------------------------------------------- lifecycle
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def _make_executor(self, shard: int, spawn: int) -> ProcessPoolExecutor:
+        """Spawn + fully initialize one shard's executor (may raise —
+        e.g. a scheduled ``crash_init`` fault kills the initializer)."""
+        executor = ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_worker_init,
+            initargs=(self._setup, self.prewarm, shard, spawn, self.fault_plan),
+        )
+        try:
+            # Force the spawn + initializer to actually complete.
+            executor.submit(_worker_snapshot).result()
+        except BaseException:
+            _terminate_executor(executor)
+            raise
+        return executor
+
     def ensure_started(self) -> float:
         """Spawn and initialize every worker; returns the startup seconds.
 
@@ -201,17 +307,17 @@ class WorkerPool:
                 return self._startup_seconds
             start = time.perf_counter()
             for shard in range(self.shards):
-                self._executors[shard] = ProcessPoolExecutor(
-                    max_workers=1,
-                    initializer=_worker_init,
-                    initargs=(self._setup, self.prewarm),
+                self._executors[shard] = self._make_executor(
+                    shard, self._spawns[shard]
                 )
-            # Force the spawn + initializer to actually complete.
-            pings = [
-                executor.submit(_worker_snapshot) for executor in self._executors
-            ]
-            for ping in pings:
-                ping.result()
+                dispatcher = threading.Thread(
+                    target=self._dispatch_loop,
+                    args=(shard,),
+                    name=f"pool-shard-{shard}",
+                    daemon=True,
+                )
+                self._dispatchers[shard] = dispatcher
+                dispatcher.start()
             self._startup_seconds = time.perf_counter() - start
             return self._startup_seconds
 
@@ -220,10 +326,23 @@ class WorkerPool:
             if self._closed:
                 return
             self._closed = True
+            dispatchers = [d for d in self._dispatchers if d is not None]
             executors = [e for e in self._executors if e is not None]
             self._executors = [None] * self.shards
+            self._dispatchers = [None] * self.shards
+            # Sentinels queue *behind* submitted work (puts are ordered by
+            # this lock), so wait=True drains in-flight tasks on live
+            # executors before they are torn down.
+            for q in self._queues:
+                q.put(None)
+        if wait:
+            for dispatcher in dispatchers:
+                dispatcher.join()
         for executor in executors:
-            executor.shutdown(wait=wait)
+            try:
+                executor.shutdown(wait=wait)
+            except Exception:  # noqa: BLE001 - broken executors may complain
+                pass
 
     def __enter__(self) -> "WorkerPool":
         self.ensure_started()
@@ -251,29 +370,87 @@ class WorkerPool:
             self._per_shard[shard] += 1
         return shard
 
-    # ---------------------------------------------------------- submitting
-    def submit(self, name: str, document: Document) -> "Future[PoolTask]":
-        """Route one document to its shard; resolves to a :class:`PoolTask`."""
-        self.ensure_started()
-        shard = self._route(document)
+    # --------------------------------------------------- supervisor hooks
+    # The Supervisor drives these three; it owns retry/respawn/degrade
+    # policy, the pool owns the mechanics.
+    def _dispatch(self, shard: int, item: Tuple[str, Document]) -> Future:
+        with self._lock:
+            executor = self._executors[shard]
+        if executor is None:
+            raise WorkerUnavailable(f"shard {shard} has no live worker")
+        return executor.submit(_worker_check, item)
+
+    def _respawn_shard(self, shard: int) -> None:
+        """Terminate shard *shard*'s worker and bring up a replacement
+        through the ordinary initializer (+prewarm).  Raises when the
+        replacement fails to come up (the supervisor counts that and may
+        trip the circuit breaker)."""
         with self._lock:
             if self._closed:
                 raise RuntimeError("pool is shut down")
-            executor = self._executors[shard]
-        inner = executor.submit(_worker_check, (name, document))
-        outer: "Future[PoolTask]" = Future()
+            old = self._executors[shard]
+            self._executors[shard] = None
+            self._spawns[shard] += 1
+            spawn = self._spawns[shard]
+        if old is not None:
+            _terminate_executor(old)
+        executor = self._make_executor(shard, spawn)
+        with self._lock:
+            if self._closed:
+                executor.shutdown(wait=False)
+                raise RuntimeError("pool is shut down")
+            self._executors[shard] = executor
 
-        def _done(finished: Future) -> None:
+    def _inline_check(
+        self, item: Tuple[str, Document]
+    ) -> Tuple[dict, Dict[str, int]]:
+        """The degraded fallback: run the task in *this* process, on a
+        lazily built tool with the pool's exact setup.  Same pipeline,
+        same canonical bytes — just no process isolation."""
+        from .batch import _check_document
+        from .reportjson import report_to_dict
+
+        with self._lock:
+            tool = self._inline_tool
+            if tool is None:
+                config, dictionary, signs = self._setup
+                tool = SpecCC(config, dictionary=dictionary, signs=signs)
+                self._inline_tool = tool
+        before = _counter_snapshot()
+        report = _check_document(tool, item[1])
+        after = _counter_snapshot()
+        return (
+            report_to_dict(report, timings=False),
+            {key: after[key] - before[key] for key in after},
+        )
+
+    # --------------------------------------------------------- dispatching
+    def _dispatch_loop(self, shard: int) -> None:
+        """Dispatcher thread: feed shard *shard* one supervised task at a
+        time.  Serial per shard (the shard has one worker process anyway)
+        — this is what makes recovery counters exact."""
+        work = self._queues[shard]
+        while True:
+            entry = work.get()
+            if entry is None:
+                work.task_done()
+                break
+            name, document, outer = entry
             try:
-                data, delta = finished.result()
-            except BaseException as error:  # noqa: BLE001 - forwarded
+                data, delta, error, attempts = self._supervisor.run_task(
+                    shard, name, document
+                )
+            except BaseException as failure:  # pragma: no cover - safety net
                 with self._lock:
                     self._failures += 1
-                outer.set_exception(error)
-                return
+                outer.set_exception(failure)
+                work.task_done()
+                continue
             with self._lock:
-                self._worker_hits += delta["hits"]
-                self._worker_misses += delta["misses"]
+                if error is not None:
+                    self._failures += 1
+                self._worker_hits += delta.get("hits", 0)
+                self._worker_misses += delta.get("misses", 0)
                 self._worker_semantics_hits += delta.get("semantics_hits", 0)
                 self._worker_semantics_misses += delta.get("semantics_misses", 0)
             outer.set_result(
@@ -281,14 +458,31 @@ class WorkerPool:
                     name,
                     data,
                     shard,
-                    delta["hits"],
-                    delta["misses"],
+                    delta.get("hits", 0),
+                    delta.get("misses", 0),
                     delta.get("semantics_hits", 0),
                     delta.get("semantics_misses", 0),
+                    error,
+                    attempts,
                 )
             )
+            work.task_done()
 
-        inner.add_done_callback(_done)
+    def submit(self, name: str, document: Document) -> "Future[PoolTask]":
+        """Route one document to its shard; resolves to a :class:`PoolTask`.
+
+        The future *always* resolves — worker death, hangs and pipeline
+        errors are absorbed by the supervisor; a document that fails on
+        every attempt resolves to a :class:`PoolTask` carrying an error
+        record (``task.error is not None``) rather than raising.
+        """
+        self.ensure_started()
+        shard = self._route(document)
+        outer: "Future[PoolTask]" = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("pool is shut down")
+            self._queues[shard].put((name, document, outer))
         return outer
 
     def check_documents(
@@ -300,12 +494,25 @@ class WorkerPool:
 
     # ------------------------------------------------------- observability
     def worker_snapshots(self) -> List[dict]:
-        """Each shard's full cache snapshot (one round-trip per worker)."""
+        """Each shard's full cache snapshot (one round-trip per worker).
+
+        A shard with no live worker (mid-respawn, or abandoned behind an
+        open circuit breaker) reports ``{"unavailable": True}`` instead
+        of failing the whole call.
+        """
         self.ensure_started()
         with self._lock:
             executors = list(self._executors)
-        futures = [executor.submit(_worker_snapshot) for executor in executors]
-        return [future.result() for future in futures]
+        snapshots: List[dict] = []
+        for executor in executors:
+            if executor is None:
+                snapshots.append({"unavailable": True})
+                continue
+            try:
+                snapshots.append(executor.submit(_worker_snapshot).result())
+            except Exception:  # noqa: BLE001 - worker died under us
+                snapshots.append({"unavailable": True})
+        return snapshots
 
     def stats(self) -> dict:
         """Shard-routing and worker cache counters, ``cache_stats()``-style.
@@ -313,8 +520,14 @@ class WorkerPool:
         ``worker_cache`` aggregates the per-task hit/miss deltas the
         workers shipped back; ``affinity_repeats`` counts submissions
         whose signature had been routed before (each one is a task that
-        landed on warm state by construction).
+        landed on warm state by construction).  ``supervision`` carries
+        the recovery counters (restarts, retries, timeouts, degraded
+        tasks, circuit state — see :meth:`~repro.service.supervision.
+        Supervisor.stats`); ``spawns`` is each shard's spawn generation
+        (0 = never respawned).  ``failures`` counts documents that
+        resolved to error records.
         """
+        supervision = self._supervisor.stats()
         with self._lock:
             hits, misses = self._worker_hits, self._worker_misses
             total = hits + misses
@@ -328,8 +541,10 @@ class WorkerPool:
                 "tasks": self._tasks,
                 "failures": self._failures,
                 "per_shard": list(self._per_shard),
+                "spawns": list(self._spawns),
                 "distinct_signatures": len(self._routed),
                 "affinity_repeats": self._affinity_repeats,
+                "supervision": supervision,
                 "worker_cache": {
                     "hits": hits,
                     "misses": misses,
@@ -373,14 +588,29 @@ def shared_pool(
     config: SpecCCConfig = SpecCCConfig(),
     shards: int = 4,
     prewarm: bool = True,
+    supervision: Optional[SupervisionConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> WorkerPool:
-    """The process-wide pool for this tool setup, created on first use."""
+    """The process-wide pool for this tool setup, created on first use.
+
+    Registry mutation is serialized under one lock, so concurrent
+    callers with the same setup get the *same* pool.  A registered pool
+    that has been shut down (tests, supervisors, operators) is replaced
+    with a fresh one rather than handed out dead.  *supervision* and
+    *fault_plan* apply only when this call creates the pool.
+    """
     template = tool if tool is not None else SpecCC(config)
     key = (_setup_key(template), shards)
     with _shared_lock:
         pool = _shared_pools.get(key)
-        if pool is None:
-            pool = WorkerPool(shards=shards, prewarm=prewarm, tool=template)
+        if pool is None or pool.closed:
+            pool = WorkerPool(
+                shards=shards,
+                prewarm=prewarm,
+                tool=template,
+                supervision=supervision,
+                fault_plan=fault_plan,
+            )
             _shared_pools[key] = pool
         return pool
 
@@ -394,12 +624,24 @@ def shared_pool_stats() -> List[dict]:
 
 
 def shutdown_shared_pools(wait: bool = True) -> None:
-    """Shut down every registry pool (tests; also runs at exit)."""
+    """Shut down every registry pool (tests; also runs at exit).
+
+    Tolerant by design: a pool already shut down — or half torn down by
+    a dying interpreter — must not turn interpreter exit into a
+    traceback.
+    """
     with _shared_lock:
         pools = list(_shared_pools.values())
         _shared_pools.clear()
     for pool in pools:
-        pool.shutdown(wait=wait)
+        try:
+            pool.shutdown(wait=wait)
+        except Exception:  # noqa: BLE001 - exit path must not raise
+            pass
 
 
-atexit.register(shutdown_shared_pools)
+def _shutdown_at_exit() -> None:  # pragma: no cover - interpreter teardown
+    shutdown_shared_pools(wait=False)
+
+
+atexit.register(_shutdown_at_exit)

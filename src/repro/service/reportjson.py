@@ -14,12 +14,14 @@ canonical bytes.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from ..core.pipeline import ConsistencyReport, SpecCC
 
 
-def stats_to_dict(tool: Optional[SpecCC] = None) -> dict:
+def stats_to_dict(
+    tool: Optional[SpecCC] = None, pools: Optional[Sequence[dict]] = None
+) -> dict:
     """Cache and engine-work statistics in the shared report format.
 
     One shape for the ``serve`` loops' ``stats`` op and the CLI's
@@ -29,12 +31,44 @@ def stats_to_dict(tool: Optional[SpecCC] = None) -> dict:
     (one snapshot, lifted out of the cache block so each gauge appears
     exactly once), and — when a *tool* is given — its per-document
     translation-graph node counts under ``"translation_graph"``.
+
+    *pools* attaches worker-pool rows (``WorkerPool.stats()`` shape)
+    under ``"pools"`` plus one fleet-level ``"supervision"`` summary of
+    their recovery counters (restarts, retries, timeouts, degraded —
+    see :func:`repro.service.supervision.aggregate_stats`), so ``check
+    --stats`` and the serve ``stats`` op expose fault-tolerance state
+    through the same document.
     """
     cache = SpecCC.cache_stats()
     payload = {"cache": cache, "synthesis": cache.pop("synthesis")}
     if tool is not None:
         payload["translation_graph"] = tool.translation_cache_stats()
+    if pools is not None:
+        from .supervision import aggregate_stats
+
+        payload["pools"] = list(pools)
+        payload["supervision"] = aggregate_stats(pools)
     return payload
+
+
+def error_to_dict(error: BaseException) -> dict:
+    """The shared *error record*: what a document that failed on every
+    attempt contributes to a batch report instead of aborting siblings.
+
+    Deliberately shaped like a degenerate report — ``verdict`` and
+    ``consistent`` are present so downstream code that only reads those
+    keys keeps working — and deterministic (type + message only, no
+    traceback addresses), so error records survive the byte-identity
+    contract across backends.
+    """
+    return {
+        "verdict": "error",
+        "consistent": False,
+        "error": {
+            "type": type(error).__name__,
+            "message": str(error),
+        },
+    }
 
 
 def partition_to_dict(partition) -> Dict[str, list]:

@@ -22,9 +22,22 @@ Protocol (request ``op`` → response fields beyond ``{"ok": true, "op":
 * ``stats`` — cache statistics; ``reset`` — fresh session;
   ``shutdown`` — acknowledge and exit the loop.
 
-Malformed requests produce ``{"ok": false, "error": "..."}`` and the loop
-continues: a broken client line must not take the daemon down — this
-holds on both the sync and the async paths.
+* ``ping`` / ``health`` — liveness without analysis: uptime, session
+  count and stats, and the worker pools' supervision counters
+  (restarts/retries/timeouts/degraded — see
+  :mod:`repro.service.supervision`); ``status`` is ``"degraded"`` when
+  any pool is running on its in-process fallback.
+
+Malformed requests produce ``{"ok": false, "error": "...", "code":
+"..."}`` and the loop continues: a broken client line must not take the
+daemon down — this holds on both the sync and the async paths.  The
+``code`` field is machine-readable and closed: ``bad_json`` (unparsable
+line), ``bad_request`` (parsable but invalid — unknown op, missing or
+malformed fields), ``oversized`` (raw line exceeds the request byte
+bound), ``timeout`` (the per-request deadline elapsed), ``overloaded``
+(a session's queue hit its backpressure bound), ``internal`` (anything
+else; the daemon survives and says so rather than dropping the
+connection).
 
 **Async front end** (``python -m repro serve --async``): the same
 protocol over an asyncio event loop that multiplexes *many* concurrent
@@ -45,12 +58,44 @@ from __future__ import annotations
 import asyncio
 import json
 import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import IO, Optional
 
 from ..core.pipeline import SpecCC
 from .batch import BatchChecker
 from .reportjson import report_to_dict
 from .session import SessionReport, SpecSession
+
+#: Default bound on one raw request line (1 MiB): a runaway client must
+#: not be able to buffer arbitrary bytes into the daemon.
+DEFAULT_MAX_REQUEST_BYTES = 1 << 20
+
+
+class ServiceError(Exception):
+    """A request failure with a machine-readable *code* (see module doc)."""
+
+    def __init__(self, message: str, code: str = "bad_request") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def error_code(error: BaseException) -> str:
+    """The structured code for *error* — shared by sync and async paths,
+    so the two loops emit identical error responses for identical
+    failures (the normalize-and-compare tests rely on this)."""
+    if isinstance(error, ServiceError):
+        return error.code
+    if isinstance(error, (FuturesTimeoutError, asyncio.TimeoutError)):
+        return "timeout"
+    if isinstance(error, (ValueError, KeyError, TypeError)):
+        return "bad_request"
+    return "internal"
+
+
+def error_response(error: BaseException) -> dict:
+    return {"ok": False, "error": str(error), "code": error_code(error)}
 
 
 def _delta_to_dict(report: SessionReport) -> dict:
@@ -93,6 +138,7 @@ class _Server:
         self.session = SpecSession(self.tool)
         self.default_batch_backend = default_batch_backend
         self.running = True
+        self._started = time.monotonic()
 
     def handle(self, request: dict) -> dict:
         op = request.get("op")
@@ -177,10 +223,26 @@ class _Server:
         from .pool import shared_pool_stats
         from .reportjson import stats_to_dict
 
-        payload = stats_to_dict(self.tool)
+        payload = stats_to_dict(self.tool, pools=shared_pool_stats())
         payload["size"] = len(self.session)
-        payload["pools"] = shared_pool_stats()
         return payload
+
+    def _op_ping(self, request: dict) -> dict:
+        """Liveness + supervision summary, no analysis work."""
+        from .pool import shared_pool_stats
+        from .supervision import aggregate_stats
+
+        supervision = aggregate_stats(shared_pool_stats())
+        return {
+            "status": "degraded" if supervision["degraded"] else "ok",
+            "uptime_seconds": time.monotonic() - self._started,
+            "sessions": 1,
+            "session_stats": self.session.stats(),
+            "supervision": supervision,
+        }
+
+    def _op_health(self, request: dict) -> dict:
+        return self._op_ping(request)
 
     def _op_reset(self, request: dict) -> dict:
         self.session = SpecSession(self.tool)
@@ -199,7 +261,16 @@ class _Server:
 #: comparing async responses against sequential references (the service
 #: benchmark and the test suite both do) strips exactly these — one
 #: list, so the two comparisons cannot drift apart.
-VOLATILE_RESPONSE_FIELDS = ("session", "rid", "seconds", "pools", "sessions")
+VOLATILE_RESPONSE_FIELDS = (
+    "session",
+    "rid",
+    "seconds",
+    "pools",
+    "sessions",
+    "supervision",
+    "uptime_seconds",
+    "session_stats",
+)
 VOLATILE_DELTA_FIELDS = (
     "cache_hits",
     "cache_misses",
@@ -244,10 +315,10 @@ class AsyncSpecServer:
     """
 
     #: Ops that can run long: handled off-loop so one session's analysis
-    #: never blocks another session's edits.  ``stats`` is here because it
-    #: reads ``pool.stats()``, whose lock a concurrent batch may hold for
-    #: the whole worker spawn while the pool starts up.
-    OFFLOADED_OPS = frozenset({"check", "batch", "stats"})
+    #: never blocks another session's edits.  ``stats``/``ping``/``health``
+    #: are here because they read ``pool.stats()``, whose lock a concurrent
+    #: batch may hold for the whole worker spawn while the pool starts up.
+    OFFLOADED_OPS = frozenset({"check", "batch", "stats", "ping", "health"})
     #: The protocol surface; requests are validated against this *before*
     #: a session is created, so invalid traffic cannot allocate state.
     VALID_OPS = frozenset(
@@ -259,16 +330,32 @@ class AsyncSpecServer:
         tool: Optional[SpecCC] = None,
         default_batch_backend: str = "process",
         max_sessions: int = 256,
+        request_timeout: Optional[float] = None,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        max_queue: int = 64,
     ) -> None:
         """*max_sessions* bounds the number of concurrently held client
         sessions: each named session keeps a :class:`SpecSession` alive
         for the daemon's lifetime, so client-chosen names must not be
-        able to grow memory without bound."""
+        able to grow memory without bound.
+
+        *request_timeout* is a per-request wall-clock deadline (None
+        disables it): a request that exceeds it gets a structured
+        ``timeout`` error instead of stalling its session forever.
+        *max_request_bytes* bounds one raw request line (``oversized``).
+        *max_queue* bounds how many requests may wait on one session's
+        lock before new ones are rejected with ``overloaded`` — bounded
+        backpressure instead of unbounded queue growth.
+        """
         self.tool = tool if tool is not None else SpecCC()
         self.default_batch_backend = default_batch_backend
         self.max_sessions = max_sessions
+        self.request_timeout = request_timeout
+        self.max_request_bytes = max_request_bytes
+        self.max_queue = max_queue
         self._sessions: dict = {}
         self._locks: dict = {}
+        self._queued: dict = {}  # session name -> requests waiting/running
         self.running = True
 
     @property
@@ -293,6 +380,7 @@ class AsyncSpecServer:
     async def handle_request(self, request) -> dict:
         """One request dict in, one response dict out; never raises."""
         base: dict = {}
+        name: Optional[str] = None
         if isinstance(request, dict):
             if "rid" in request:
                 base["rid"] = request["rid"]
@@ -306,26 +394,60 @@ class AsyncSpecServer:
                 # allocate per-session state.
                 raise ValueError(f"unknown op {op!r}")
             server, lock = self._session(base["session"])
+            # Backpressure: count waiters *before* queueing on the lock,
+            # reject once the session's queue is full.  Rejection is an
+            # error response, never a dropped connection.
+            name = base["session"]
+            queued = self._queued.get(name, 0)
+            if queued >= self.max_queue:
+                name = None  # nothing to undo
+                raise ServiceError(
+                    f"session {base['session']!r} has {queued} queued "
+                    f"requests (max {self.max_queue}); retry later",
+                    code="overloaded",
+                )
+            self._queued[name] = queued + 1
             async with lock:  # in-order, one at a time per session
                 if op in self.OFFLOADED_OPS:
                     loop = asyncio.get_running_loop()
-                    result = await loop.run_in_executor(
-                        None, server.handle, request
-                    )
+                    work = loop.run_in_executor(None, server.handle, request)
                 else:
-                    result = server.handle(request)
+
+                    async def run_inline():
+                        return server.handle(request)
+
+                    work = run_inline()
+                if self.request_timeout is not None:
+                    try:
+                        result = await asyncio.wait_for(
+                            work, timeout=self.request_timeout
+                        )
+                    except asyncio.TimeoutError:
+                        raise ServiceError(
+                            f"request exceeded {self.request_timeout}s",
+                            code="timeout",
+                        ) from None
+                else:
+                    result = await work
             if not server.running:
                 self.running = False  # shutdown is global, as in sync serve
             response = {"ok": True, "op": op}
             response.update(base)
             response.update(result)
-            if op == "stats":
+            if op in ("stats", "ping", "health"):
                 response["sessions"] = len(self._sessions)
             return response
         except Exception as error:  # noqa: BLE001 - the daemon must survive
-            response = {"ok": False, "error": str(error)}
+            response = error_response(error)
             response.update(base)
             return response
+        finally:
+            if name is not None:
+                remaining = self._queued.get(name, 1) - 1
+                if remaining > 0:
+                    self._queued[name] = remaining
+                else:
+                    self._queued.pop(name, None)
 
 async def serve_async_loop(
     stdin: IO[str],
@@ -347,8 +469,13 @@ async def serve_async_loop(
 
     async def write(response: dict) -> None:
         async with write_lock:
-            stdout.write(json.dumps(response, sort_keys=True) + "\n")
-            stdout.flush()
+            try:
+                stdout.write(json.dumps(response, sort_keys=True) + "\n")
+                stdout.flush()
+            except (OSError, ValueError):
+                # Client went away (broken pipe / closed stream): stop
+                # accepting, let the drain below finish in-flight work.
+                server.running = False
 
     async def handle(request) -> None:
         await write(await server.handle_request(request))
@@ -357,13 +484,32 @@ async def serve_async_loop(
         line = await loop.run_in_executor(None, stdin.readline)
         if not line:
             break
+        if len(line) > server.max_request_bytes:
+            # Checked on raw bytes, before parsing: an oversized line must
+            # not cost a parse, and must not silently drop the request.
+            await write(
+                error_response(
+                    ServiceError(
+                        f"request line exceeds {server.max_request_bytes} "
+                        "bytes",
+                        code="oversized",
+                    )
+                )
+            )
+            continue
         line = line.strip()
         if not line:
             continue
         try:
             request = json.loads(line)
         except Exception as error:  # noqa: BLE001 - the daemon must survive
-            await write({"ok": False, "error": f"malformed JSON: {error}"})
+            await write(
+                {
+                    "ok": False,
+                    "error": f"malformed JSON: {error}",
+                    "code": "bad_json",
+                }
+            )
             continue
         if isinstance(request, dict) and request.get("op") == "shutdown":
             # Global shutdown: everything already accepted finishes first.
@@ -384,36 +530,98 @@ def serve_async(
     stdin: Optional[IO[str]] = None,
     stdout: Optional[IO[str]] = None,
     tool: Optional[SpecCC] = None,
+    request_timeout: Optional[float] = None,
+    max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    max_queue: int = 64,
 ) -> int:
     """Blocking entry point of the async front end (``serve --async``)."""
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
-    return asyncio.run(serve_async_loop(stdin, stdout, tool))
+    server = AsyncSpecServer(
+        tool,
+        request_timeout=request_timeout,
+        max_request_bytes=max_request_bytes,
+        max_queue=max_queue,
+    )
+    return asyncio.run(serve_async_loop(stdin, stdout, tool, server=server))
 
 
 def serve(
     stdin: Optional[IO[str]] = None,
     stdout: Optional[IO[str]] = None,
     tool: Optional[SpecCC] = None,
+    server: Optional[_Server] = None,
+    request_timeout: Optional[float] = None,
+    max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
 ) -> int:
-    """Run the JSON-lines loop until EOF or a ``shutdown`` request."""
+    """Run the JSON-lines loop until EOF or a ``shutdown`` request.
+
+    *request_timeout* bounds one request's wall-clock time: the handler
+    runs on a dedicated worker thread and an expired deadline produces a
+    structured ``timeout`` error response while the loop lives on.  (The
+    timed-out handler's thread keeps running to completion underneath —
+    requests behind it queue rather than interleave, preserving the
+    strictly sequential session semantics.)  *max_request_bytes* bounds
+    one raw request line (``oversized`` error).
+    """
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
-    server = _Server(tool)
-    for line in stdin:
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            request = json.loads(line)
-            if not isinstance(request, dict):
-                raise ValueError("request must be a JSON object")
-            response = {"ok": True, "op": request.get("op")}
-            response.update(server.handle(request))
-        except Exception as error:  # noqa: BLE001 - the daemon must survive
-            response = {"ok": False, "error": str(error)}
-        stdout.write(json.dumps(response, sort_keys=True) + "\n")
-        stdout.flush()
-        if not server.running:
-            break
+    server = server if server is not None else _Server(tool)
+    executor: Optional[ThreadPoolExecutor] = None
+    if request_timeout is not None:
+        executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-handler"
+        )
+    try:
+        for line in stdin:
+            if len(line) > max_request_bytes:
+                response = error_response(
+                    ServiceError(
+                        f"request line exceeds {max_request_bytes} bytes",
+                        code="oversized",
+                    )
+                )
+                stdout.write(json.dumps(response, sort_keys=True) + "\n")
+                stdout.flush()
+                continue
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except Exception as error:  # noqa: BLE001 - daemon survives
+                response = {
+                    "ok": False,
+                    "error": f"malformed JSON: {error}",
+                    "code": "bad_json",
+                }
+                stdout.write(json.dumps(response, sort_keys=True) + "\n")
+                stdout.flush()
+                continue
+            try:
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+                response = {"ok": True, "op": request.get("op")}
+                if executor is not None:
+                    result = executor.submit(server.handle, request).result(
+                        timeout=request_timeout
+                    )
+                else:
+                    result = server.handle(request)
+                response.update(result)
+            except FuturesTimeoutError:
+                response = error_response(
+                    ServiceError(
+                        f"request exceeded {request_timeout}s", code="timeout"
+                    )
+                )
+            except Exception as error:  # noqa: BLE001 - daemon survives
+                response = error_response(error)
+            stdout.write(json.dumps(response, sort_keys=True) + "\n")
+            stdout.flush()
+            if not server.running:
+                break
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=False)
     return 0

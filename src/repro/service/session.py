@@ -129,6 +129,7 @@ class SpecSession:
     def __init__(self, tool: Optional[SpecCC] = None) -> None:
         self.tool = tool if tool is not None else SpecCC()
         self._cache = self.tool.translator.new_cache()
+        self._created = time.monotonic()
         self._order: List[str] = []
         self._sentences: Dict[str, str] = {}
         self._edited: Set[str] = set()
@@ -191,6 +192,19 @@ class SpecSession:
             added.append(identifier)
             number += 1
         return tuple(added)
+
+    def stats(self) -> dict:
+        """Lightweight health row: size, revision, pending edits, age.
+
+        The serve ``ping``/``health`` op aggregates these across live
+        sessions without running any analysis.
+        """
+        return {
+            "size": len(self._order),
+            "revision": self._revision,
+            "pending_edits": len(self._edited),
+            "age_seconds": time.monotonic() - self._created,
+        }
 
     # ---------------------------------------------------------- checking
     @property

@@ -4,6 +4,12 @@ The contract under test: canonical reports are byte-identical across
 every backend and every shard count, repeated documents land on warm
 worker caches (observable through ``pool.stats()``), and the shared-pool
 registry hands the same pool to equivalent tool setups.
+
+The fault-injection half (``TestFaultInjection``) drives the supervision
+layer through every scheduled failure mode — worker crash, hung worker,
+mid-pipeline raise, respawn that keeps failing — and asserts the *same*
+byte-identity contract plus exact recovery counters (deterministic
+because dispatch is serialized per shard and the fault plan is seeded).
 """
 
 from __future__ import annotations
@@ -13,12 +19,14 @@ import json
 import pytest
 
 from repro import BatchChecker, SpecCC, SpecCCConfig
+from repro.service.faults import FaultPlan, FaultSpec
 from repro.service.pool import (
     WorkerPool,
     document_signature,
     shared_pool,
     shutdown_shared_pools,
 )
+from repro.service.supervision import SupervisionConfig, backoff_delay
 
 DOCS = [
     ("consistent", "If the sensor is active, the valve is opened.\n"),
@@ -39,6 +47,24 @@ DOCS = [
         "If the feed is invalid, the lamp is not activated.\n",
     ),
 ]
+
+
+#: The 13-document corpus of the fault-recovery acceptance criterion:
+#: the five base documents plus simple variations, so a mid-corpus crash
+#: has plenty of siblings before and after it.
+CORPUS13 = DOCS + [
+    ("c6", "If the door is closed, the fan is started.\n"),
+    ("c7", "If the mode is manual, the heater is enabled.\n"),
+    ("c8", "The pump is started.\nThe pump is not started.\n"),
+    ("c9", "If the switch is pressed, the light is enabled.\n"),
+    ("c10", "If the tank is full, the pump is not started.\n"),
+    ("c11", "If the level is high, the drain is opened.\n"),
+    ("c12", "If the signal is received, the motor is stopped.\n"),
+    ("c13", "If the guard is closed, the press is released.\n"),
+]
+
+#: Fast supervision defaults for tests: real backoff shape, tiny delays.
+FAST = dict(backoff_base=0.01, backoff_cap=0.05)
 
 
 def canonical(results) -> list:
@@ -156,11 +182,26 @@ class TestWorkerPool:
         # actually analysed something.
         assert any(s["component_cache"]["misses"] > 0 for s in snapshots)
 
-    def test_worker_errors_propagate_and_are_counted(self):
-        with WorkerPool(shards=1) as pool:
-            with pytest.raises(Exception):
-                pool.submit("bad", [("R1", "")]).result()
-            assert pool.stats()["failures"] == 1
+    def test_worker_errors_yield_error_records_not_exceptions(self):
+        """Per-document isolation: a document whose pipeline raises
+        resolves to the shared error record — the future never raises,
+        siblings are unaffected, and the failure is counted."""
+        with WorkerPool(shards=1, prewarm=False) as pool:
+            bad = pool.submit("bad", [("R1", "")]).result()
+            good = pool.submit("good", DOCS[0][1]).result()
+            assert bad.error is not None
+            assert bad.data["verdict"] == "error"
+            assert bad.data["consistent"] is False
+            assert bad.data["error"]["type"] == "StructuredEnglishError"
+            assert good.error is None
+            assert good.data["consistent"] is True
+            stats = pool.stats()
+            assert stats["failures"] == 1
+            assert stats["supervision"]["error_records"] == 1
+            # A deterministic document error is retried max_attempts
+            # times before the record is emitted, on the same worker.
+            assert stats["supervision"]["task_errors"] == 3
+            assert stats["spawns"] == [0]
 
     def test_invalid_configuration(self):
         with pytest.raises(ValueError):
@@ -207,3 +248,267 @@ class TestSharedRegistry:
             results = checker.check_documents(DOCS[:2])
             assert [r.name for r in results] == [name for name, _ in DOCS[:2]]
             assert pool.stats()["tasks"] == 2
+
+    def test_closed_pool_is_replaced_not_handed_out(self):
+        first = shared_pool(shards=2)
+        first.shutdown()
+        second = shared_pool(shards=2)
+        assert second is not first
+        assert not second.closed
+
+    def test_registry_shutdown_is_idempotent_and_tolerant(self):
+        pool = shared_pool(shards=2)
+        pool.ensure_started()
+        # A pool shut down out from under the registry (supervisors and
+        # tests do this) must not break the exit hook, and repeated
+        # registry shutdowns must be no-ops.
+        pool.shutdown()
+        shutdown_shared_pools()
+        shutdown_shared_pools()
+        assert shared_pool(shards=2) is not pool
+
+
+class TestFaultPlan:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="explode")
+
+    def test_json_roundtrip(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(kind="crash", shard=1, task=2, max_spawn=0),
+                FaultSpec(kind="delay", seconds=0.5, times=-1),
+            ),
+            seed=42,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_unknown_plan_keys_are_rejected(self):
+        """A typo'd plan must fail loudly, not silently inject nothing."""
+        with pytest.raises(ValueError, match="unknown fault plan keys"):
+            FaultPlan.from_json('{"seed": 1, "fautls": []}')
+
+    def test_from_env(self):
+        plan = FaultPlan(specs=(FaultSpec(kind="crash", task=0),), seed=3)
+        environ = {"REPRO_FAULTS": plan.to_json()}
+        assert FaultPlan.from_env(environ) == plan
+        assert FaultPlan.from_env({}) is None
+        assert FaultPlan.from_env({"REPRO_FAULTS": "  "}) is None
+
+    def test_spawn_window_matching(self):
+        spec = FaultSpec(kind="crash", shard=1, min_spawn=1, max_spawn=2)
+        assert not spec.matches_worker(shard=0, spawn=1)
+        assert not spec.matches_worker(shard=1, spawn=0)
+        assert spec.matches_worker(shard=1, spawn=1)
+        assert spec.matches_worker(shard=1, spawn=2)
+        assert not spec.matches_worker(shard=1, spawn=3)
+
+    def test_backoff_delay_is_deterministic_and_bounded(self):
+        config = SupervisionConfig(seed=7)
+        first = backoff_delay(config, "doc", 1)
+        assert first == backoff_delay(config, "doc", 1)
+        assert first != backoff_delay(SupervisionConfig(seed=8), "doc", 1)
+        for attempt in range(1, 8):
+            delay = backoff_delay(config, "doc", attempt)
+            assert 0 < delay <= config.backoff_cap * (1 + config.jitter)
+
+
+class TestFaultInjection:
+    """The acceptance criteria: every scheduled failure recovers to
+    byte-identical reports, with exact recovery counters."""
+
+    def test_crash_mid_corpus_recovers_byte_identical(self):
+        """Kill shard K's worker on its Nth task mid-13-doc-corpus: the
+        batch completes, bytes match ``workers=1``, and the counters
+        match the plan exactly — one death, one restart, one retry."""
+        sequential = canonical(
+            BatchChecker(workers=1).check_documents(CORPUS13)
+        )
+        shards = 2
+        # Pick a shard that receives a third task to crash on: matching
+        # is positional (per-worker task ordinal), so the test computes
+        # the routing the same way the pool does.
+        per_shard = [0] * shards
+        for _, document in CORPUS13:
+            per_shard[int(document_signature(document), 16) % shards] += 1
+        target = max(range(shards), key=lambda shard: per_shard[shard])
+        assert per_shard[target] >= 3
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(kind="crash", shard=target, task=2, max_spawn=0),
+            ),
+            seed=11,
+        )
+        pool = WorkerPool(
+            shards=shards,
+            prewarm=False,
+            fault_plan=plan,
+            supervision=SupervisionConfig(seed=plan.seed, **FAST),
+        )
+        with pool:
+            tasks = pool.check_documents(CORPUS13)
+            got = [json.dumps(task.data, sort_keys=True) for task in tasks]
+            stats = pool.stats()
+        assert got == sequential
+        assert all(task.error is None for task in tasks)
+        supervision = stats["supervision"]
+        assert supervision["worker_deaths"] == 1
+        assert supervision["restarts"] == 1
+        assert supervision["retries"] == 1
+        assert supervision["attempts"] == len(CORPUS13) + 1
+        assert supervision["timeouts"] == 0
+        assert supervision["degraded_tasks"] == 0
+        assert supervision["degraded"] is False
+        assert stats["spawns"][target] == 1
+        assert sum(stats["spawns"]) == 1
+        assert stats["failures"] == 0
+
+    def test_hung_worker_times_out_and_recovers(self):
+        """A delay fault + watchdog timeout: the hung worker is killed,
+        respawned, and the task retried — reports stay byte-identical."""
+        docs = DOCS[:3]
+        sequential = canonical(BatchChecker(workers=1).check_documents(docs))
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(kind="delay", task=0, seconds=30.0, max_spawn=0),
+            ),
+            seed=5,
+        )
+        pool = WorkerPool(
+            shards=1,
+            prewarm=False,
+            fault_plan=plan,
+            supervision=SupervisionConfig(
+                seed=plan.seed, task_timeout=2.0, **FAST
+            ),
+        )
+        with pool:
+            tasks = pool.check_documents(docs)
+            got = [json.dumps(task.data, sort_keys=True) for task in tasks]
+            supervision = pool.stats()["supervision"]
+        assert got == sequential
+        assert supervision["timeouts"] == 1
+        assert supervision["restarts"] == 1
+        assert supervision["retries"] == 1
+        assert supervision["degraded"] is False
+
+    def test_timeout_then_degraded_fallback_end_to_end(self):
+        """Every spawn hangs on every task: timeout → respawn → retry →
+        timeout again → attempts exhausted → in-process fallback.  The
+        results are still byte-identical and the degradation is
+        counted, never silent."""
+        docs = DOCS[:2]
+        sequential = canonical(BatchChecker(workers=1).check_documents(docs))
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="delay", seconds=30.0, times=-1),),
+            seed=9,
+        )
+        pool = WorkerPool(
+            shards=1,
+            prewarm=False,
+            fault_plan=plan,
+            supervision=SupervisionConfig(
+                seed=plan.seed, task_timeout=0.5, max_attempts=2, **FAST
+            ),
+        )
+        with pool:
+            tasks = pool.check_documents(docs)
+            got = [json.dumps(task.data, sort_keys=True) for task in tasks]
+            supervision = pool.stats()["supervision"]
+        assert got == sequential
+        assert all(task.error is None for task in tasks)
+        assert supervision["degraded_tasks"] == len(docs)
+        assert supervision["degraded"] is True
+        assert supervision["timeouts"] == 2 * len(docs)
+        assert supervision["restarts"] == 2 * len(docs)
+
+    def test_respawn_failure_trips_circuit_breaker(self):
+        """Respawn forced to keep failing (``crash_init`` aimed at every
+        respawn generation): the circuit breaker opens, the whole corpus
+        still completes byte-identically on the in-process path, and
+        ``degraded=True`` is surfaced in stats."""
+        docs = DOCS[:3]
+        sequential = canonical(BatchChecker(workers=1).check_documents(docs))
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(kind="crash", task=0, max_spawn=0),
+                FaultSpec(kind="crash_init", min_spawn=1, times=-1),
+            ),
+            seed=13,
+        )
+        pool = WorkerPool(
+            shards=1,
+            prewarm=False,
+            fault_plan=plan,
+            supervision=SupervisionConfig(
+                seed=plan.seed, max_respawn_failures=2, **FAST
+            ),
+        )
+        with pool:
+            tasks = pool.check_documents(docs)
+            got = [json.dumps(task.data, sort_keys=True) for task in tasks]
+            stats = pool.stats()
+        assert got == sequential
+        supervision = stats["supervision"]
+        assert supervision["circuit_open"] is True
+        assert supervision["degraded"] is True
+        assert supervision["degraded_tasks"] == len(docs)
+        assert supervision["respawn_failures"] == 2
+        assert supervision["worker_deaths"] == 1
+        assert stats["failures"] == 0
+
+    def test_pipeline_raise_fault_is_retried_on_same_worker(self):
+        """A ``raise`` fault fires once inside ``check_translated``; the
+        supervisor retries on the same (healthy) worker, where the
+        fired-count keeps it from re-firing — no respawn needed."""
+        docs = DOCS[:2]
+        sequential = canonical(BatchChecker(workers=1).check_documents(docs))
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(kind="raise", task=0, stage="check_translated"),
+            ),
+            seed=17,
+        )
+        pool = WorkerPool(
+            shards=1,
+            prewarm=False,
+            fault_plan=plan,
+            supervision=SupervisionConfig(seed=plan.seed, **FAST),
+        )
+        with pool:
+            tasks = pool.check_documents(docs)
+            got = [json.dumps(task.data, sort_keys=True) for task in tasks]
+            supervision = pool.stats()["supervision"]
+        assert got == sequential
+        assert supervision["task_errors"] == 1
+        assert supervision["retries"] == 1
+        assert supervision["restarts"] == 0
+        assert supervision["worker_deaths"] == 0
+        assert supervision["degraded"] is False
+
+    def test_batchchecker_process_backend_survives_crash(self):
+        """The acceptance criterion at the BatchChecker surface: a
+        seeded crash plan, ``backend="process"``, full 13-doc corpus,
+        byte-identical output."""
+        sequential = canonical(
+            BatchChecker(workers=1).check_documents(CORPUS13)
+        )
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="crash", task=1, max_spawn=0),),
+            seed=23,
+        )
+        with WorkerPool(
+            shards=2,
+            prewarm=False,
+            fault_plan=plan,
+            supervision=SupervisionConfig(seed=plan.seed, **FAST),
+        ) as pool:
+            checker = BatchChecker(workers=2, backend="process", pool=pool)
+            results = checker.check_documents(CORPUS13)
+            supervision = pool.stats()["supervision"]
+        assert canonical(results) == sequential
+        # task=1 with shard=None: each shard's worker crashes on its
+        # second task — two deaths, two restarts, two retries, exactly.
+        assert supervision["worker_deaths"] == 2
+        assert supervision["restarts"] == 2
+        assert supervision["retries"] == 2

@@ -388,6 +388,26 @@ class TestBatchChecker:
     def test_empty_batch(self):
         assert BatchChecker().check_documents([]) == []
 
+    def test_bad_document_becomes_error_record_in_every_backend(self):
+        """One unparsable document must not poison its batch: it yields an
+        error record, siblings are judged normally, and the records are
+        byte-identical across the sequential and thread backends."""
+        docs = BATCH_DOCS[:2] + [("broken", [("R1", "")])] + BATCH_DOCS[2:]
+        sequential = BatchChecker(workers=1).check_documents(docs)
+        threaded = BatchChecker(workers=4).check_documents(docs)
+        assert self._canonical(sequential) == self._canonical(threaded)
+        broken = {r.name: r for r in threaded}["broken"]
+        assert broken.verdict == "error"
+        assert not broken.consistent
+        assert broken.error["type"] == "StructuredEnglishError"
+        good = [r for r in threaded if r.name != "broken"]
+        assert [r.verdict for r in good] == [
+            "realizable",
+            "realizable",
+            "unrealizable",
+            "realizable",
+        ]
+
     def test_invalid_configuration(self):
         with pytest.raises(ValueError):
             BatchChecker(backend="fiber")
@@ -780,6 +800,225 @@ class TestServeAsync:
             "check",
             "shutdown",
         ]
+
+
+class TestServeHardening:
+    """The fault-tolerant serving tier at the protocol surface: health
+    ops, structured error codes, timeouts, oversized guards and
+    backpressure — never a dropped connection."""
+
+    def test_ping_sync(self):
+        responses = run_serve([{"op": "ping"}, {"op": "health"}])
+        for response in responses:
+            assert response["ok"] is True
+            assert response["status"] == "ok"
+            assert response["uptime_seconds"] >= 0
+            assert response["sessions"] == 1
+            assert response["session_stats"]["size"] == 0
+            supervision = response["supervision"]
+            assert supervision["degraded"] is False
+            for key in ("restarts", "retries", "timeouts", "degraded_tasks"):
+                assert supervision[key] == 0
+
+    def test_ping_async(self):
+        responses = run_serve_async(
+            [
+                {"op": "add", "id": "R1", "text": "The valve is opened.", "session": "a"},
+                {"op": "ping", "session": "a"},
+            ]
+        )
+        ping = responses[-1]
+        assert ping["ok"] is True
+        assert ping["status"] == "ok"
+        assert ping["sessions"] == 1
+        assert ping["session_stats"]["size"] == 1
+        assert ping["session_stats"]["pending_edits"] == 1
+        assert "supervision" in ping
+
+    def test_error_codes_sync(self):
+        out = io.StringIO()
+        payload = (
+            "this is not json\n"
+            + json.dumps({"op": "frobnicate"})
+            + "\n"
+            + json.dumps({"op": "add", "id": "R1"})
+            + "\n"
+        )
+        serve(io.StringIO(payload), out)
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert [r["ok"] for r in responses] == [False, False, False]
+        assert [r["code"] for r in responses] == [
+            "bad_json",
+            "bad_request",
+            "bad_request",
+        ]
+        assert "malformed JSON" in responses[0]["error"]
+
+    def test_error_codes_async(self):
+        responses = run_serve_async(
+            [
+                "this is not json",
+                {"op": "frobnicate"},
+                {"op": "add", "id": "R1"},
+            ]
+        )
+        assert [r["ok"] for r in responses] == [False, False, False]
+        assert [r["code"] for r in responses] == [
+            "bad_json",
+            "bad_request",
+            "bad_request",
+        ]
+
+    def test_oversized_request_sync(self):
+        out = io.StringIO()
+        big = json.dumps({"op": "add", "id": "R1", "text": "x" * 4096})
+        payload = big + "\n" + json.dumps({"op": "ping"}) + "\n"
+        serve(io.StringIO(payload), out, max_request_bytes=1024)
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        # The oversized line gets a structured error; the loop lives on.
+        assert responses[0]["ok"] is False
+        assert responses[0]["code"] == "oversized"
+        assert responses[1]["ok"] is True
+
+    def test_oversized_request_async(self):
+        from repro.service.server import serve_async_loop
+
+        async def drive():
+            out = io.StringIO()
+            server = AsyncSpecServer(max_request_bytes=1024)
+            big = json.dumps({"op": "add", "id": "R1", "text": "x" * 4096})
+            stdin = io.StringIO(big + "\n" + json.dumps({"op": "ping"}) + "\n")
+            await serve_async_loop(stdin, out, server=server)
+            return [json.loads(line) for line in out.getvalue().splitlines()]
+
+        responses = asyncio.run(drive())
+        assert responses[0]["ok"] is False
+        assert responses[0]["code"] == "oversized"
+        assert any(r["ok"] and r.get("op") == "ping" for r in responses[1:])
+
+    def test_request_timeout_sync(self):
+        import time as time_module
+
+        from repro.service.server import _Server
+
+        class SlowServer(_Server):
+            def _op_stall(self, request):
+                time_module.sleep(0.8)
+                return {}
+
+        out = io.StringIO()
+        payload = (
+            json.dumps({"op": "stall"}) + "\n" + json.dumps({"op": "ping"}) + "\n"
+        )
+        # The ping queues behind the stalled handler thread (strictly
+        # sequential semantics), so the stall must end inside the ping's
+        # own deadline window for it to succeed.
+        serve(
+            io.StringIO(payload),
+            out,
+            server=SlowServer(),
+            request_timeout=0.6,
+        )
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert responses[0]["ok"] is False
+        assert responses[0]["code"] == "timeout"
+        # The loop answered the next request instead of dropping it.
+        assert responses[1]["ok"] is True
+
+    def test_request_timeout_async(self):
+        import time as time_module
+
+        from repro.service.server import _Server
+
+        class SlowServer(_Server):
+            def _op_check(self, request):
+                time_module.sleep(0.8)
+                return {}
+
+        async def drive():
+            server = AsyncSpecServer(request_timeout=0.2)
+            slow = SlowServer(server.tool)
+            server._sessions["default"] = slow
+            server._locks["default"] = asyncio.Lock()
+            first = await server.handle_request({"op": "check"})
+            second = await server.handle_request({"op": "add", "id": "R1", "text": "The valve is opened."})
+            return first, second
+
+        first, second = asyncio.run(drive())
+        assert first["ok"] is False
+        assert first["code"] == "timeout"
+        assert second["ok"] is True  # session still serves after a timeout
+
+    def test_backpressure_overloaded_async(self):
+        import time as time_module
+
+        from repro.service.server import _Server
+
+        class SlowServer(_Server):
+            def _op_check(self, request):
+                time_module.sleep(0.3)
+                return {}
+
+        async def drive():
+            server = AsyncSpecServer(max_queue=1)
+            slow = SlowServer(server.tool)
+            server._sessions["default"] = slow
+            server._locks["default"] = asyncio.Lock()
+            return await asyncio.gather(
+                *(server.handle_request({"op": "check", "rid": i}) for i in range(3))
+            )
+
+        responses = asyncio.run(drive())
+        by_rid = sorted(responses, key=lambda r: r["rid"])
+        assert by_rid[0]["ok"] is True  # the in-flight request completes
+        rejected = [r for r in by_rid[1:] if not r["ok"]]
+        assert rejected, "queue bound must reject excess requests"
+        assert all(r["code"] == "overloaded" for r in rejected)
+        # Rejection is backpressure, not a broken session: once drained,
+        # the same session serves again.
+        followup = asyncio.run(
+            AsyncSpecServer().handle_request(
+                {"op": "add", "id": "R1", "text": "The valve is opened."}
+            )
+        )
+        assert followup["ok"] is True
+
+    def test_batch_op_isolates_document_errors(self):
+        responses = run_serve(
+            [
+                {
+                    "op": "batch",
+                    "documents": [
+                        {"name": "good", "text": BATCH_DOCS[0][1]},
+                        {"name": "bad", "requirements": [["R1", ""]]},
+                        {"name": "also-good", "text": BATCH_DOCS[2][1]},
+                    ],
+                }
+            ]
+        )
+        assert responses[0]["ok"] is True
+        results = responses[0]["results"]
+        assert [entry["name"] for entry in results] == [
+            "good",
+            "bad",
+            "also-good",
+        ]
+        assert results[0]["report"]["consistent"] is True
+        assert results[1]["report"]["verdict"] == "error"
+        assert results[1]["report"]["error"]["type"] == "StructuredEnglishError"
+        assert results[2]["report"]["verdict"] == "unrealizable"
+
+    def test_session_stats_shape(self):
+        session = SpecSession()
+        session.add("R1", "The valve is opened.")
+        stats = session.stats()
+        assert stats["size"] == 1
+        assert stats["revision"] == 0
+        assert stats["pending_edits"] == 1
+        assert stats["age_seconds"] >= 0
+        session.check()
+        assert session.stats()["pending_edits"] == 0
+        assert session.stats()["revision"] == 1
 
 
 class TestCLI:
