@@ -15,6 +15,11 @@ Tracks the perf trajectory of the hot paths the paper's pipeline leans on:
   re-checked through one long-lived session.  Records how many sentences
   Algorithm 1 actually re-analysed per edit (the graph bounds it to the
   edited subject's sentences) and the speedup over fresh per-edit checks.
+* **tracing_overhead** (schema ``/3``): the 13-document corpus of CARA's
+  Table I component blocks checked untraced and under a live process tracer
+  (:mod:`repro.obs`), asserting the always-compiled-in instrumentation
+  stays within a 5% overhead budget when tracing is on (the tracing-off
+  path is a shared null span and costs one global read per site).
 
 Usage (from the repository root)::
 
@@ -54,7 +59,7 @@ from repro.casestudies import (  # noqa: E402
 )
 from repro.logic.ast import Atom, next_chain  # noqa: E402
 
-SCHEMA = "repro-bench-core/2"
+SCHEMA = "repro-bench-core/3"
 BASELINE_PATH = Path(__file__).resolve().parent / "baseline_core.json"
 
 
@@ -246,6 +251,58 @@ def bench_incremental_semantics(quick: bool) -> Dict[str, object]:
     }
 
 
+# -------------------------------------------------------- tracing overhead
+def bench_tracing_overhead(quick: bool) -> Dict[str, object]:
+    """Traced vs. untraced full-pipeline checks over the 13-doc corpus —
+    the paper's own workload: CARA's 13 Table I component requirement
+    blocks, each checked as one document.
+
+    Both passes start cache-cold and rebuild the tool, so the only
+    difference is whether a process tracer is installed.  Best-of-N
+    timing on each side squeezes out scheduler noise before the ratio.
+    """
+    from repro.obs.trace import Tracer, set_process_tracer
+
+    documents = [reqs for _, reqs in sorted(component_requirements().items())]
+    repeats = 2 if quick else 5
+
+    def run_corpus() -> None:
+        _clear_caches()
+        tool = _paper_tool()
+        for requirements in documents:
+            tool.check(requirements)
+
+    untraced_seconds = _time(run_corpus, repeats)
+
+    spans = 0
+
+    def run_traced() -> None:
+        nonlocal spans
+        tracer = Tracer(name="bench")
+        previous = set_process_tracer(tracer)
+        try:
+            run_corpus()
+        finally:
+            set_process_tracer(previous)
+        spans = len(tracer.records())
+
+    traced_seconds = _time(run_traced, repeats)
+    overhead = (
+        (traced_seconds / untraced_seconds - 1.0) * 100.0
+        if untraced_seconds > 0
+        else 0.0
+    )
+    return {
+        "documents": len(documents),
+        "repeats": repeats,
+        "untraced_seconds": untraced_seconds,
+        "traced_seconds": traced_seconds,
+        "overhead_percent": round(overhead, 2),
+        "spans": spans,
+        "within_budget": overhead <= 5.0,
+    }
+
+
 def _flat_times(report: Dict) -> Dict[str, float]:
     """Map benchmark name -> headline seconds, for speedup ratios."""
     flat: Dict[str, float] = {}
@@ -266,6 +323,7 @@ def build_report(quick: bool) -> Dict:
         "micro": bench_micro(quick),
         "end_to_end": bench_end_to_end(quick),
         "incremental_semantics": bench_incremental_semantics(quick),
+        "tracing_overhead": bench_tracing_overhead(quick),
     }
     if BASELINE_PATH.exists():
         baseline = json.loads(BASELINE_PATH.read_text())
@@ -320,6 +378,12 @@ def main(argv: List[str] | None = None) -> int:
         f"incremental_semantics: <= {semantics['max_sentences_reanalysed_per_edit']}"
         f"/{semantics['sentences']} sentences re-analysed per edit, "
         f"{semantics['speedup']}x vs fresh per-edit checks"
+    )
+    tracing = report["tracing_overhead"]
+    print(
+        f"tracing_overhead: {tracing['overhead_percent']}% over "
+        f"{tracing['documents']} documents ({tracing['spans']} spans; "
+        f"budget 5%: {'ok' if tracing['within_budget'] else 'EXCEEDED'})"
     )
     print(f"wrote {args.output}")
     return 0

@@ -1,0 +1,145 @@
+"""Structural validator for Chrome trace-event JSON written by repro.
+
+Checks the output of ``python -m repro check --trace-out trace.json``
+(and of :meth:`repro.obs.Tracer.export_chrome` generally) against the
+subset of the trace-event format the exporter promises:
+
+* the file is a JSON object with a ``traceEvents`` list;
+* every event carries ``name``/``ph``/``pid``/``tid`` and (for B/E/X)
+  a numeric non-negative ``ts``;
+* only phases ``B``, ``E``, ``X`` and ``M`` (metadata) appear;
+* per ``(pid, tid)`` track, ``B``/``E`` events nest properly — every
+  ``E`` matches the name of the innermost open ``B``, timestamps are
+  monotone non-decreasing, and no span is left open at the end.
+
+These are exactly the invariants Perfetto / ``chrome://tracing`` need
+to render nested slices, so a file that passes here loads there.
+
+Usage::
+
+    python benchmarks/trace_schema.py trace.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+ALLOWED_PHASES = {"B", "E", "X", "M"}
+
+
+class TraceSchemaError(ValueError):
+    """The trace file violates the exporter's format contract."""
+
+
+def validate_events(events: List[dict]) -> Dict[str, int]:
+    """Validate a ``traceEvents`` list; return summary counts.
+
+    Raises :class:`TraceSchemaError` on the first violation, with the
+    offending event index in the message.
+    """
+    if not isinstance(events, list):
+        raise TraceSchemaError("traceEvents is not a list")
+    stacks: Dict[Tuple[object, object], List[str]] = {}
+    last_ts: Dict[Tuple[object, object], float] = {}
+    spans = 0
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise TraceSchemaError(f"event {index} is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise TraceSchemaError(f"event {index} is missing {key!r}")
+        phase = event["ph"]
+        if phase not in ALLOWED_PHASES:
+            raise TraceSchemaError(
+                f"event {index} has unexpected phase {phase!r}"
+            )
+        if phase == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise TraceSchemaError(f"event {index} has invalid ts {ts!r}")
+        track = (event["pid"], event["tid"])
+        if ts < last_ts.get(track, 0.0):
+            raise TraceSchemaError(
+                f"event {index} goes back in time on track {track}: "
+                f"{ts} < {last_ts[track]}"
+            )
+        last_ts[track] = float(ts)
+        stack = stacks.setdefault(track, [])
+        if phase == "B":
+            stack.append(event["name"])
+            spans += 1
+        elif phase == "E":
+            if not stack:
+                raise TraceSchemaError(
+                    f"event {index}: E with no open B on track {track}"
+                )
+            opened = stack.pop()
+            if opened != event["name"]:
+                raise TraceSchemaError(
+                    f"event {index}: E {event['name']!r} closes B {opened!r}"
+                )
+        else:  # X: a complete event, needs a non-negative duration
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise TraceSchemaError(
+                    f"event {index} (X) has invalid dur {dur!r}"
+                )
+            spans += 1
+    for track, stack in stacks.items():
+        if stack:
+            raise TraceSchemaError(
+                f"track {track} ends with unclosed spans: {stack}"
+            )
+    return {
+        "events": len(events),
+        "spans": spans,
+        "tracks": len(stacks),
+    }
+
+
+def validate_file(path: Path) -> Dict[str, int]:
+    """Load and validate one trace file; return summary counts."""
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise TraceSchemaError(f"cannot load {path}: {error}") from error
+    if isinstance(document, list):  # the bare JSON Array Format
+        events = document
+    elif isinstance(document, dict) and "traceEvents" in document:
+        events = document["traceEvents"]
+    else:
+        raise TraceSchemaError(
+            f"{path} is neither an event array nor an object with a "
+            "traceEvents list"
+        )
+    summary = validate_events(events)
+    if summary["spans"] == 0:
+        raise TraceSchemaError(f"{path} contains no spans")
+    return summary
+
+
+def main(argv: List[str] = None) -> int:
+    args = sys.argv[1:] if argv is None else list(argv)
+    if len(args) != 1:
+        print("usage: python benchmarks/trace_schema.py <trace.json>",
+              file=sys.stderr)
+        return 2
+    path = Path(args[0])
+    try:
+        summary = validate_file(path)
+    except TraceSchemaError as error:
+        print(f"INVALID: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"{path}: {summary['events']} events, {summary['spans']} spans, "
+        f"{summary['tracks']} tracks — well-formed"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,6 +50,53 @@ def _config_from(args: argparse.Namespace) -> SpecCCConfig:
     )
 
 
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="record nested spans across the whole run and write them as "
+        "Chrome trace-event JSON (open in Perfetto or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--slow-span-ms",
+        type=float,
+        default=None,
+        help="log any span exceeding this threshold (milliseconds) with "
+        "its attributes via the 'repro.obs.trace' logger; implies tracing",
+    )
+
+
+class _TraceScope:
+    """Installs the process-wide tracer for one CLI run, if requested."""
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        self.trace_out = args.trace_out
+        self.slow_ms = args.slow_span_ms
+        self.tracer = None
+        self._previous = None
+
+    def __enter__(self) -> "_TraceScope":
+        if self.trace_out is not None or self.slow_ms is not None:
+            from .obs.trace import Tracer, set_process_tracer
+
+            self.tracer = Tracer(name="cli", slow_ms=self.slow_ms)
+            self._previous = set_process_tracer(self.tracer)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self.tracer is None:
+            return
+        from .obs.trace import set_process_tracer
+
+        set_process_tracer(self._previous)
+        if self.trace_out is not None:
+            events = self.tracer.export_chrome(self.trace_out)
+            print(
+                f"trace: {events} events -> {self.trace_out}", file=sys.stderr
+            )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -76,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
         "loop's 'stats' payload) to the report",
     )
     _add_config_arguments(check)
+    _add_trace_arguments(check)
 
     serve = sub.add_parser(
         "serve", help="run the JSON-lines service loop on stdin/stdout"
@@ -145,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
         "degrades to the in-process path or an error record (default: 3)",
     )
     _add_config_arguments(batch)
+    _add_trace_arguments(batch)
     return parser
 
 
@@ -263,11 +312,13 @@ def main(argv=None) -> int:
         if args.json and (args.ltl or args.tree or args.controllers):
             # --json owns stdout; the formulas are already in the report.
             parser.error("--json cannot be combined with --ltl/--tree/--controllers")
-        return run_check(args)
+        with _TraceScope(args):
+            return run_check(args)
     if args.command == "serve":
         return run_serve(args)
     if args.command == "batch":
-        return run_batch(args)
+        with _TraceScope(args):
+            return run_batch(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

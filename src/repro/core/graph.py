@@ -240,6 +240,18 @@ class AnalysisGraph:
                 memo.misses = 0
             self._deps.clear()
 
+    def reset_counters(self) -> None:
+        """Zero every stage's hit/miss counters, keeping cached values.
+
+        The observability reset (:func:`repro.obs.metrics.reset_counters`)
+        calls this so counter surfaces zero together without evicting
+        anything — resetting telemetry must never change what computes.
+        """
+        with self._lock:
+            for memo in self._stages.values():
+                memo.hits = 0
+                memo.misses = 0
+
     # ------------------------------------------------------- observability
     def stats(self) -> Dict[str, StageStats]:
         with self._lock:

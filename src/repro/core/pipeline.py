@@ -40,6 +40,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..logic.ast import Formula
 from ..nlp.antonyms import AntonymDictionary
+from ..obs.trace import span as _obs_span
 from ..smt.timeopt import Sign
 from ..synthesis.localization import LocalizationResult, default_checker, localize
 from ..synthesis.mealy import MealyMachine
@@ -234,15 +235,19 @@ class SpecCC:
     ) -> ConsistencyReport:
         """Run the full loop on ``(identifier, sentence)`` requirements."""
         start = time.perf_counter()
-        translation = self.translator.translate(requirements)
-        report = self.check_translated(translation)
+        with _obs_span("check", requirements=len(requirements)) as sp:
+            translation = self.translator.translate(requirements)
+            report = self.check_translated(translation)
+            sp.set(verdict=report.verdict.value)
         report.seconds = time.perf_counter() - start
         return report
 
     def check_document(self, document: str) -> ConsistencyReport:
         start = time.perf_counter()
-        translation = self.translator.translate_document(document)
-        report = self.check_translated(translation)
+        with _obs_span("check", bytes=len(document)) as sp:
+            translation = self.translator.translate_document(document)
+            report = self.check_translated(translation)
+            sp.set(verdict=report.verdict.value)
         report.seconds = time.perf_counter() - start
         return report
 
@@ -254,7 +259,9 @@ class SpecCC:
         start = time.perf_counter()
         formulas = list(translation.formulas)
         partition = translation.partition
-        result = self._realizability(formulas, partition)
+        with _obs_span("pipeline.realizability", formulas=len(formulas)) as sp:
+            result = self._realizability(formulas, partition)
+            sp.set(verdict=result.verdict.value, components=len(result.components))
         repairs = 0
         repaired: Optional[Partition] = None
 
@@ -263,12 +270,15 @@ class SpecCC:
             result.verdict is not Verdict.REALIZABLE
             and repairs < self.config.max_partition_repairs
         ):
-            candidate = self._repair_partition(formulas, partition, result)
-            if candidate is None:
-                break
-            repairs += 1
-            partition = candidate
-            result = self._realizability(formulas, partition)
+            with _obs_span("pipeline.repair", attempt=repairs + 1) as sp:
+                candidate = self._repair_partition(formulas, partition, result)
+                if candidate is None:
+                    sp.set(moved=None)
+                    break
+                repairs += 1
+                partition = candidate
+                result = self._realizability(formulas, partition)
+                sp.set(verdict=result.verdict.value)
             if result.verdict is Verdict.REALIZABLE:
                 repaired = partition
 
@@ -277,13 +287,15 @@ class SpecCC:
             result.verdict is not Verdict.REALIZABLE
             and self.config.localize_on_failure
         ):
-            checker = default_checker(
-                sorted(partition.inputs),
-                sorted(partition.outputs),
-                engine=self.config.engine,
-                limits=self.config.limits,
-            )
-            localization = localize(formulas, checker)
+            with _obs_span("pipeline.localization", formulas=len(formulas)) as sp:
+                checker = default_checker(
+                    sorted(partition.inputs),
+                    sorted(partition.outputs),
+                    engine=self.config.engine,
+                    limits=self.config.limits,
+                )
+                localization = localize(formulas, checker)
+                sp.set(core=len(localization.core))
 
         return ConsistencyReport(
             translation=translation,

@@ -1,0 +1,51 @@
+"""Observability: nested-span tracing, metrics, Chrome-trace export.
+
+The subsystem is dependency-free and always importable; instrumentation
+call sites use :func:`span` unconditionally and pay a near-zero no-op
+cost until a tracer is installed (``--trace-out`` on the CLI, or a
+``"trace": true`` request flag on the serve protocol).
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    reset_counters,
+)
+from .trace import (
+    NULL_SPAN,
+    SpanRecord,
+    Tracer,
+    activate,
+    activated,
+    annotate,
+    chrome_events,
+    deactivate,
+    get_tracer,
+    set_process_tracer,
+    span,
+    tracing_active,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "SpanRecord",
+    "Tracer",
+    "activate",
+    "activated",
+    "annotate",
+    "chrome_events",
+    "deactivate",
+    "get_tracer",
+    "registry",
+    "reset_counters",
+    "set_process_tracer",
+    "span",
+    "tracing_active",
+    "write_chrome_trace",
+]

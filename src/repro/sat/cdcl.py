@@ -198,6 +198,26 @@ class CDCLSolver:
 
     def solve(self, assumptions: Sequence[Lit] = ()) -> SatResult:
         """Search for a model extending *assumptions*."""
+        from ..obs.trace import tracing_active
+
+        if not tracing_active():
+            return self._solve(assumptions)
+        from ..obs.trace import span
+
+        with span("sat.solve", vars=self.num_vars, assumptions=len(assumptions)) as sp:
+            result = self._solve(assumptions)
+            counters = self.stats()
+            sp.set(
+                sat=result.satisfiable,
+                conflicts=counters["conflicts"],
+                decisions=counters["decisions"],
+                propagations=counters["propagations"],
+                restarts=counters["restarts"],
+                clause_visits=counters["clause_visits"],
+            )
+            return result
+
+    def _solve(self, assumptions: Sequence[Lit] = ()) -> SatResult:
         if not self.ok:
             return SatResult(False, failed_assumptions=[], conflicts=self.conflicts)
         self._backtrack(0)

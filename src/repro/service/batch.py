@@ -43,6 +43,7 @@ from functools import partial
 from typing import List, Optional, Sequence, Tuple, Union
 
 from ..core.pipeline import ConsistencyReport, SpecCC, SpecCCConfig
+from ..obs.trace import span as _obs_span
 from ..synthesis.modular import decompose
 from ..translate.translator import SpecificationTranslation, Translator
 from .faults import FaultPlan
@@ -161,6 +162,17 @@ class BatchChecker:
         items = list(documents)
         if not items:
             return []
+        with _obs_span(
+            "batch.check",
+            documents=len(items),
+            backend=self.backend,
+            workers=self.workers,
+        ):
+            return self._check_documents(items)
+
+    def _check_documents(
+        self, items: List[Tuple[str, Document]]
+    ) -> List[BatchResult]:
         if self.backend == "process":
             return self._run_pool(items)
         if self.backend == "process-fresh":

@@ -73,6 +73,13 @@ from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 from ..core.pipeline import SpecCC, SpecCCConfig
+from ..obs.trace import (
+    Tracer,
+    activated,
+    get_tracer,
+    span as _obs_span,
+    tracing_active,
+)
 from .faults import FaultPlan
 from .supervision import Supervisor, SupervisionConfig, WorkerUnavailable
 
@@ -121,6 +128,10 @@ class PoolTask(NamedTuple):
     semantics_misses: int = 0
     error: Optional[str] = None
     attempts: int = 1
+    #: Span records the worker recorded for this task (empty unless the
+    #: submitting context was tracing) — already stitched into the
+    #: parent's trace by the dispatcher, surfaced here for inspection.
+    spans: Tuple = ()
 
 
 # ---------------------------------------------------------------- workers
@@ -162,8 +173,16 @@ def _counter_snapshot() -> Dict[str, int]:
     }
 
 
-def _worker_check(item: Tuple[str, Document]) -> Tuple[dict, Dict[str, int]]:
-    """Check one document on the resident tool; report + hit/miss deltas."""
+def _worker_check(item: Tuple) -> Tuple[dict, Dict[str, int]]:
+    """Check one document on the resident tool; report + hit/miss deltas.
+
+    *item* is ``(name, document)``, optionally extended with a trace flag
+    (appended by :meth:`WorkerPool._dispatch` when the submitting context
+    is tracing): the task then runs under a per-task tracer and its span
+    records ride back in the delta dict under ``"spans"`` — the same pipe
+    the cache-attribution deltas already use, so the result shape the
+    supervisor sees is unchanged.
+    """
     from . import faults
     from .batch import _check_document
     from .reportjson import report_to_dict
@@ -172,13 +191,17 @@ def _worker_check(item: Tuple[str, Document]) -> Tuple[dict, Dict[str, int]]:
     if tool is None:  # pragma: no cover - initializer always runs first
         raise RuntimeError("worker process was not initialized")
     faults.on_task_start()  # crash/delay faults scheduled for this task
+    trace = len(item) > 2 and bool(item[2])
+    tracer = Tracer(name=f"task.{item[0]}") if trace else None
     before = _counter_snapshot()
-    report = _check_document(tool, item[1])
+    with activated(tracer):
+        with _obs_span("worker.check", task=str(item[0])):
+            report = _check_document(tool, item[1])
     after = _counter_snapshot()
-    return (
-        report_to_dict(report, timings=False),
-        {key: after[key] - before[key] for key in after},
-    )
+    delta: Dict[str, object] = {key: after[key] - before[key] for key in after}
+    if tracer is not None:
+        delta["spans"] = tracer.drain()
+    return report_to_dict(report, timings=False), delta
 
 
 def _worker_snapshot(_: object = None) -> dict:
@@ -378,6 +401,10 @@ class WorkerPool:
             executor = self._executors[shard]
         if executor is None:
             raise WorkerUnavailable(f"shard {shard} has no live worker")
+        if tracing_active():
+            # Ask the worker to trace this task; its spans come back in
+            # the delta dict and are stitched in by the dispatcher.
+            item = item + (True,)
         return executor.submit(_worker_check, item)
 
     def _respawn_shard(self, shard: int) -> None:
@@ -435,11 +462,30 @@ class WorkerPool:
             if entry is None:
                 work.task_done()
                 break
-            name, document, outer = entry
+            name, document, outer, tracer = entry
             try:
-                data, delta, error, attempts = self._supervisor.run_task(
-                    shard, name, document
-                )
+                # Re-establish the submitter's tracer in this thread
+                # (context variables do not cross thread boundaries), so
+                # dispatch/retry/respawn spans land in the right trace.
+                with activated(tracer):
+                    with _obs_span("pool.task", task=name, shard=shard) as sp:
+                        data, delta, error, attempts = self._supervisor.run_task(
+                            shard, name, document
+                        )
+                        sp.set(attempts=attempts, failed=error is not None)
+                    spans = (
+                        delta.pop("spans", ()) if isinstance(delta, dict) else ()
+                    )
+                    if tracer is not None and spans:
+                        # Stitch the worker's spans under this dispatch
+                        # span: re-IDed, re-parented, shifted to the
+                        # dispatch window, one track per shard.
+                        tracer.adopt(
+                            spans,
+                            parent=sp,
+                            tid=f"shard{shard}",
+                            offset_us=sp.ts,
+                        )
             except BaseException as failure:  # pragma: no cover - safety net
                 with self._lock:
                     self._failures += 1
@@ -464,6 +510,7 @@ class WorkerPool:
                     delta.get("semantics_misses", 0),
                     error,
                     attempts,
+                    tuple(spans),
                 )
             )
             work.task_done()
@@ -479,10 +526,14 @@ class WorkerPool:
         self.ensure_started()
         shard = self._route(document)
         outer: "Future[PoolTask]" = Future()
+        # Capture the submitter's tracer here: the dispatcher thread
+        # re-activates it around the supervised run, which is what lets a
+        # request's context tracer span worker-pool dispatch.
+        tracer = get_tracer()
         with self._lock:
             if self._closed:
                 raise RuntimeError("pool is shut down")
-            self._queues[shard].put((name, document, outer))
+            self._queues[shard].put((name, document, outer, tracer))
         return outer
 
     def check_documents(

@@ -38,6 +38,10 @@ def stats_to_dict(
     see :func:`repro.service.supervision.aggregate_stats`), so ``check
     --stats`` and the serve ``stats`` op expose fault-tolerance state
     through the same document.
+
+    When any latency histograms have accumulated (every finished span
+    feeds one — see :mod:`repro.obs`), their p50/p90/p99 summaries ride
+    along under ``"histograms"``.
     """
     cache = SpecCC.cache_stats()
     payload = {"cache": cache, "synthesis": cache.pop("synthesis")}
@@ -48,6 +52,11 @@ def stats_to_dict(
 
         payload["pools"] = list(pools)
         payload["supervision"] = aggregate_stats(pools)
+    from ..obs.metrics import registry
+
+    histograms = registry().histograms_summary()
+    if histograms:
+        payload["histograms"] = histograms
     return payload
 
 

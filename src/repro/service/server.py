@@ -21,6 +21,12 @@ Protocol (request ``op`` → response fields beyond ``{"ok": true, "op":
   "report": {...}}, ...]}`` in input order.
 * ``stats`` — cache statistics; ``reset`` — fresh session;
   ``shutdown`` — acknowledge and exit the loop.
+* ``metrics`` — the unified observability snapshot
+  (:mod:`repro.obs.metrics`): native counters/gauges/histograms plus the
+  collected ``pipeline``/``sat``/``game``/``pool``/``supervision``
+  namespaces.  Additionally, *any* request may carry ``"trace": true``:
+  the request runs under a per-request tracer and its span records come
+  back on the response under the volatile ``"trace"`` field.
 
 * ``ping`` / ``health`` — liveness without analysis: uptime, session
   count and stats, and the worker pools' supervision counters
@@ -123,6 +129,7 @@ def _delta_to_dict(report: SessionReport) -> dict:
         "semantics_reanalysed": list(delta.semantics_reanalysed),
         "semantics_hits": delta.semantics_hits,
         "semantics_misses": delta.semantics_misses,
+        "stage_seconds": dict(delta.stage_seconds),
     }
 
 
@@ -145,7 +152,24 @@ class _Server:
         handler = getattr(self, f"_op_{op}", None)
         if op is None or handler is None:
             raise ValueError(f"unknown op {op!r}")
-        return handler(request)
+        if not request.get("trace"):
+            return handler(request)
+        # Per-request tracing: a fresh tracer scoped to this request (the
+        # context variable overrides any process tracer, so concurrent
+        # requests keep separate traces), its spans shipped back to the
+        # client on the response under the volatile "trace" field.
+        from ..obs.trace import Tracer, activated, span
+
+        attrs = {"session": str(request.get("session", "default"))}
+        if "rid" in request:
+            attrs["rid"] = request["rid"]
+        tracer = Tracer(name=f"serve.{op}")
+        with activated(tracer):
+            with span(f"serve.{op}", **attrs):
+                result = handler(request)
+        result = dict(result)
+        result["trace"] = tracer.drain()
+        return result
 
     @staticmethod
     def _require(request: dict, key: str):
@@ -227,6 +251,15 @@ class _Server:
         payload["size"] = len(self.session)
         return payload
 
+    def _op_metrics(self, request: dict) -> dict:
+        """The full :class:`~repro.obs.metrics.MetricsRegistry` snapshot:
+        native counters/gauges/histograms plus every collected namespace
+        (``pipeline``/``sat``/``game``/``pool``/``supervision``).  Pass
+        ``"full": false`` to drop the histogram bucket arrays."""
+        from ..obs.metrics import registry
+
+        return {"metrics": registry().snapshot(full=bool(request.get("full", True)))}
+
     def _op_ping(self, request: dict) -> dict:
         """Liveness + supervision summary, no analysis work."""
         from .pool import shared_pool_stats
@@ -270,12 +303,16 @@ VOLATILE_RESPONSE_FIELDS = (
     "supervision",
     "uptime_seconds",
     "session_stats",
+    "trace",
+    "metrics",
+    "histograms",
 )
 VOLATILE_DELTA_FIELDS = (
     "cache_hits",
     "cache_misses",
     "semantics_hits",
     "semantics_misses",
+    "stage_seconds",
 )
 
 
@@ -318,7 +355,7 @@ class AsyncSpecServer:
     #: never blocks another session's edits.  ``stats``/``ping``/``health``
     #: are here because they read ``pool.stats()``, whose lock a concurrent
     #: batch may hold for the whole worker spawn while the pool starts up.
-    OFFLOADED_OPS = frozenset({"check", "batch", "stats", "ping", "health"})
+    OFFLOADED_OPS = frozenset({"check", "batch", "stats", "metrics", "ping", "health"})
     #: The protocol surface; requests are validated against this *before*
     #: a session is created, so invalid traffic cannot allocate state.
     VALID_OPS = frozenset(

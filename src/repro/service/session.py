@@ -30,12 +30,23 @@ and which component verdicts changed since the previous check.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.pipeline import ConsistencyReport, SpecCC
 from ..nlp.tokenizer import split_sentences
+from ..obs.trace import get_tracer, span as _obs_span
 from ..synthesis.realizability import Verdict
+
+#: The disjoint top-level pipeline stages the per-check timing breakdown
+#: sums span durations over (each covers a non-overlapping slice of the
+#: check, so the values add up to "time accounted for").
+_STAGE_SPAN_NAMES = (
+    "translate",
+    "pipeline.realizability",
+    "pipeline.repair",
+    "pipeline.localization",
+)
 
 
 @dataclass(frozen=True)
@@ -73,6 +84,10 @@ class SessionDelta:
     #: the session is the only checker running, like cache_hits/misses).
     semantics_hits: int = 0
     semantics_misses: int = 0
+    #: Per-stage wall-clock seconds for this check, summed from the active
+    #: tracer's spans (empty when tracing is off).  Volatile by nature —
+    #: the byte-identity machinery strips it (``VOLATILE_DELTA_FIELDS``).
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def reanalyzed(self) -> Tuple[ComponentDelta, ...]:
@@ -220,8 +235,24 @@ class SpecSession:
         start = time.perf_counter()
         edited = tuple(sorted(self._edited))
         stats_before = self.tool.cache_stats()
-        translation = self.tool.translator.translate(self.requirements(), self._cache)
-        report = self.tool.check_translated(translation)
+        tracer = get_tracer()
+        mark = tracer.mark() if tracer is not None else 0
+        with _obs_span(
+            "session.check", revision=self._revision + 1, edits=len(edited)
+        ) as sp:
+            translation = self.tool.translator.translate(
+                self.requirements(), self._cache
+            )
+            report = self.tool.check_translated(translation)
+            sp.set(verdict=report.verdict.value)
+        stage_seconds: Dict[str, float] = {}
+        if tracer is not None:
+            for record in tracer.records_since(mark):
+                if record["name"] in _STAGE_SPAN_NAMES:
+                    stage_seconds[record["name"]] = (
+                        stage_seconds.get(record["name"], 0.0)
+                        + record["dur"] / 1e6
+                    )
         stats_after = self.tool.cache_stats()
 
         identifiers = [req.identifier for req in translation.requirements]
@@ -266,6 +297,7 @@ class SpecSession:
             - stats_before["semantics"]["hits"],
             semantics_misses=stats_after["semantics"]["misses"]
             - stats_before["semantics"]["misses"],
+            stage_seconds=stage_seconds,
         )
         self._seen = seen
         self._verdicts = verdicts

@@ -48,6 +48,8 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
 
+from ..obs.trace import span as _obs_span
+
 logger = logging.getLogger("repro.service.supervision")
 
 #: The per-task cache-attribution delta for tasks that never ran on a
@@ -198,11 +200,14 @@ class Supervisor:
     def _note_retry(self, name: str, attempt: int) -> None:
         with self._lock:
             self.retries += 1
-        time.sleep(backoff_delay(self.config, name, attempt))
+        delay = backoff_delay(self.config, name, attempt)
+        with _obs_span("pool.backoff", task=name, attempt=attempt, seconds=delay):
+            time.sleep(delay)
 
     def _respawn(self, shard: int, reason: str) -> bool:
         try:
-            self.pool._respawn_shard(shard)
+            with _obs_span("pool.respawn", shard=shard, reason=reason):
+                self.pool._respawn_shard(shard)
         except Exception as error:  # noqa: BLE001 - counted + degraded
             with self._lock:
                 self.respawn_failures += 1
@@ -243,7 +248,8 @@ class Supervisor:
                 attempts,
             )
         try:
-            data, delta = self.pool._inline_check((name, document))
+            with _obs_span("pool.degraded", task=name, shard=shard):
+                data, delta = self.pool._inline_check((name, document))
         except Exception as error:  # noqa: BLE001 - document itself is broken
             return self._error_record(name, error, attempts)
         with self._lock:

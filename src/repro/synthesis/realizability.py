@@ -18,6 +18,7 @@ from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from ..automata import gpvw
 from ..core.graph import shared_graph
+from ..obs.trace import span as _obs_span
 from ..automata.ltlsat import satisfiable
 from ..logic.ast import Formula, conj
 from ..logic.semantics import LassoWord
@@ -198,20 +199,35 @@ class CacheInfo(NamedTuple):
     misses: int
 
 
+def reset_synthesis_stats() -> None:
+    """Zero the engine-work accumulators without touching any cache.
+
+    Part of the single observability reset
+    (:func:`repro.obs.metrics.reset_counters`); callers wanting *all*
+    counter surfaces zeroed together should use that instead.
+    """
+    with _stats_lock:
+        _synthesis_stats.clear()
+        _synthesis_stats.update(_zero_synthesis_stats())
+
+
 def clear_caches() -> None:
     """Reset every formula-level cache behind the realizability stack.
 
     Clears the shared analysis graph (component outcomes *and* the
-    Algorithm 1 semantics memo), the GPVW translation cache and the
-    engine-work counters.  Benchmarks use this to measure cold paths;
-    ordinary callers never need it — all caches are keyed by interned
-    formulas / content signatures and semantically transparent.
+    Algorithm 1 semantics memo) and the GPVW translation cache, then
+    routes every counter surface through the one observability reset
+    (:func:`repro.obs.metrics.reset_counters`) so the graph stage
+    counters and the engine accumulators can never zero on divergent
+    paths.  Benchmarks use this to measure cold paths; ordinary callers
+    never need it — all caches are keyed by interned formulas / content
+    signatures and semantically transparent.
     """
+    from ..obs.metrics import reset_counters
+
     shared_graph().clear()
-    with _stats_lock:
-        _synthesis_stats.clear()
-        _synthesis_stats.update(_zero_synthesis_stats())
     gpvw.clear_translation_cache()
+    reset_counters()
 
 
 def component_cache_info() -> CacheInfo:
@@ -322,13 +338,22 @@ def check_component(
     key: _ComponentKey = (
         component.formulas, local_inputs, local_outputs, engine, limits
     )
-    outcome = shared_graph().compute(
-        "components",
-        key,
-        lambda: _analyze_component(
-            component.formulas, local_inputs, local_outputs, engine, limits
-        ),
-    )
+    with _obs_span(
+        "solve.component",
+        formulas=len(component.formulas),
+        inputs=len(local_inputs),
+        outputs=len(local_outputs),
+    ) as sp:
+        if sp.id is not None:  # only probe membership when actually tracing
+            sp.set(cached=shared_graph().contains("components", key))
+        outcome = shared_graph().compute(
+            "components",
+            key,
+            lambda: _analyze_component(
+                component.formulas, local_inputs, local_outputs, engine, limits
+            ),
+        )
+        sp.set(verdict=outcome.verdict.value, method=outcome.method)
     return ComponentResult(
         component,
         outcome.verdict,
@@ -392,28 +417,35 @@ def _analyze_component(
 
     if engine is Engine.SAFETY_GAME:
         for bound in range(1, limits.max_game_bound + 1):
-            try:
-                outcome = solve_game(
-                    specification,
-                    local_inputs,
-                    local_outputs,
-                    bound=bound,
-                    max_positions=limits.max_game_positions,
-                    exploration=limits.game_exploration,
-                )
-            except StateSpaceLimit:
-                break
-            _record_game(outcome.stats)
+            with _obs_span("solve.game", bound=bound) as sp:
+                try:
+                    outcome = solve_game(
+                        specification,
+                        local_inputs,
+                        local_outputs,
+                        bound=bound,
+                        max_positions=limits.max_game_positions,
+                        exploration=limits.game_exploration,
+                    )
+                except StateSpaceLimit:
+                    sp.set(limit="positions")
+                    break
+                _record_game(outcome.stats)
+                sp.set(realizable=outcome.realizable, **outcome.stats)
             if outcome.realizable:
                 controller = outcome.machine
                 verdict = Verdict.REALIZABLE
                 break
             # Not winnable at this bound: consult the dual before growing k.
             if dual_ok:
-                dual = synthesize_environment(
-                    specification, local_inputs, local_outputs, num_states=bound
-                )
-                _record_sat(dual.solver_stats)
+                with _obs_span(
+                    "solve.bounded", direction="environment", states=bound
+                ) as sp:
+                    dual = synthesize_environment(
+                        specification, local_inputs, local_outputs, num_states=bound
+                    )
+                    _record_sat(dual.solver_stats)
+                    sp.set(realizable=dual.realizable, **dual.solver_stats)
                 if dual.realizable:
                     counterstrategy = dual.machine
                     verdict = Verdict.UNREALIZABLE
@@ -421,19 +453,27 @@ def _analyze_component(
     else:
         for size in range(1, max(limits.max_system_states, limits.max_environment_states) + 1):
             if size <= limits.max_system_states:
-                attempt = synthesize(
-                    specification, local_inputs, local_outputs, num_states=size
-                )
-                _record_sat(attempt.solver_stats)
+                with _obs_span(
+                    "solve.bounded", direction="system", states=size
+                ) as sp:
+                    attempt = synthesize(
+                        specification, local_inputs, local_outputs, num_states=size
+                    )
+                    _record_sat(attempt.solver_stats)
+                    sp.set(realizable=attempt.realizable, **attempt.solver_stats)
                 if attempt.realizable:
                     controller = attempt.machine
                     verdict = Verdict.REALIZABLE
                     break
             if size <= limits.max_environment_states and dual_ok:
-                dual = synthesize_environment(
-                    specification, local_inputs, local_outputs, num_states=size
-                )
-                _record_sat(dual.solver_stats)
+                with _obs_span(
+                    "solve.bounded", direction="environment", states=size
+                ) as sp:
+                    dual = synthesize_environment(
+                        specification, local_inputs, local_outputs, num_states=size
+                    )
+                    _record_sat(dual.solver_stats)
+                    sp.set(realizable=dual.realizable, **dual.solver_stats)
                 if dual.realizable:
                     counterstrategy = dual.machine
                     verdict = Verdict.UNREALIZABLE

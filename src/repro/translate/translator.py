@@ -30,6 +30,7 @@ from ..nlp.antonyms import AntonymDictionary
 from ..nlp.dependencies import candidate_subjects
 from ..nlp.grammar import Sentence, parse_sentence
 from ..nlp.tokenizer import split_sentences
+from ..obs.trace import span as _obs_span
 from ..smt.timeopt import Sign
 from .partition import Partition, partition_formulas
 from .semantics import (
@@ -236,68 +237,85 @@ class Translator:
             cache = self._default_cache
         graph = cache.graph
         touched = _touched()
-        sentences = []
-        for identifier, text in requirements:
-            parsed = graph.compute(
-                "parses",
-                text,
-                lambda text=text: parse_sentence(text),
-                touched=touched,
-            )
-            sentences.append((identifier, text, parsed))
+        with _obs_span("translate", sentences=len(requirements)):
+            with _obs_span("translate.parse"):
+                sentences = []
+                for identifier, text in requirements:
+                    parsed = graph.compute(
+                        "parses",
+                        text,
+                        lambda text=text: parse_sentence(text),
+                        touched=touched,
+                    )
+                    sentences.append((identifier, text, parsed))
 
-        # Computed once per check: Algorithm 1's unit keys and the raw
-        # formulas below both incorporate it (raw formulas read the
-        # dictionary directly through the curated-positive fallback in
-        # SemanticAnalysis.reduce, so a mutated dictionary must miss even
-        # through the translator's persistent default graph).
-        dict_sig = self.dictionary.signature()
-        delta: Optional[SemanticsDelta] = None
-        if self.options.semantic_reasoning:
-            analysis, delta = analyse_incremental(
-                [(text, sentence) for _, text, sentence in sentences],
-                self.dictionary,
-                graph,
-                touched=touched,
-                dict_sig=dict_sig,
-            )
-        else:
-            analysis = no_reasoning()
+            # Computed once per check: Algorithm 1's unit keys and the raw
+            # formulas below both incorporate it (raw formulas read the
+            # dictionary directly through the curated-positive fallback in
+            # SemanticAnalysis.reduce, so a mutated dictionary must miss even
+            # through the translator's persistent default graph).
+            dict_sig = self.dictionary.signature()
+            delta: Optional[SemanticsDelta] = None
+            if self.options.semantic_reasoning:
+                with _obs_span("translate.semantics") as sp:
+                    analysis, delta = analyse_incremental(
+                        [(text, sentence) for _, text, sentence in sentences],
+                        self.dictionary,
+                        graph,
+                        touched=touched,
+                        dict_sig=dict_sig,
+                    )
+                    sp.set(
+                        components=delta.components,
+                        reanalysed=delta.reanalysed_components,
+                    )
+            else:
+                analysis = no_reasoning()
 
-        raw_formulas: List[Formula] = []
-        for _, text, sentence in sentences:
-            key = (text, dict_sig, _sentence_signature(analysis, sentence))
-            # Vocabulary nodes only exist when semantic reasoning ran.
-            parse_node = ("parses", text)
-            deps = (parse_node, ("vocab", text)) if delta is not None else (parse_node,)
-            raw = graph.compute(
-                "raw_formulas",
-                key,
-                lambda sentence=sentence: sentence_formula(
-                    sentence, analysis, self.options
-                ),
-                deps=deps,
-                touched=touched,
-            )
-            raw_formulas.append(raw)
+            with _obs_span("translate.formulas"):
+                raw_formulas: List[Formula] = []
+                for _, text, sentence in sentences:
+                    key = (text, dict_sig, _sentence_signature(analysis, sentence))
+                    # Vocabulary nodes only exist when semantic reasoning ran.
+                    parse_node = ("parses", text)
+                    deps = (
+                        (parse_node, ("vocab", text))
+                        if delta is not None
+                        else (parse_node,)
+                    )
+                    raw = graph.compute(
+                        "raw_formulas",
+                        key,
+                        lambda sentence=sentence: sentence_formula(
+                            sentence, analysis, self.options
+                        ),
+                        deps=deps,
+                        touched=touched,
+                    )
+                    raw_formulas.append(raw)
 
-        abstraction = self._abstract(raw_formulas, graph, touched)
-        translated = [
-            RequirementTranslation(
-                identifier, text, sentence, raw, simplify(abstracted)
-            )
-            for (identifier, text, sentence), raw, abstracted in zip(
-                sentences, raw_formulas, abstraction.formulas
-            )
-        ]
-        final_formulas = tuple(req.formula for req in translated)
-        partition = graph.compute(
-            "partitions",
-            final_formulas,
-            lambda: partition_formulas(list(final_formulas)),
-            touched=touched,
-        )
-        graph.retain(touched)
+            with _obs_span("translate.abstraction", method=self.abstraction.value):
+                abstraction = self._abstract(raw_formulas, graph, touched)
+            translated = [
+                RequirementTranslation(
+                    identifier, text, sentence, raw, simplify(abstracted)
+                )
+                for (identifier, text, sentence), raw, abstracted in zip(
+                    sentences, raw_formulas, abstraction.formulas
+                )
+            ]
+            final_formulas = tuple(req.formula for req in translated)
+            with _obs_span("translate.partition") as sp:
+                partition = graph.compute(
+                    "partitions",
+                    final_formulas,
+                    lambda: partition_formulas(list(final_formulas)),
+                    touched=touched,
+                )
+                sp.set(
+                    inputs=len(partition.inputs), outputs=len(partition.outputs)
+                )
+            graph.retain(touched)
         return SpecificationTranslation(
             translated, analysis, abstraction, partition, semantics_delta=delta
         )

@@ -512,3 +512,72 @@ class TestFaultInjection:
         assert supervision["worker_deaths"] == 2
         assert supervision["restarts"] == 2
         assert supervision["retries"] == 2
+
+
+class TestAggregateStatsAcrossPools:
+    """The fleet-level supervision summary (satellite of the
+    observability tier): one ``aggregate_stats`` row over many pools —
+    including pools that have already been shut down, whose counters
+    must still contribute."""
+
+    def test_two_live_pools_plus_one_closed_pool(self):
+        from repro.service.supervision import aggregate_stats
+
+        # Pool 1: a scheduled mid-pipeline raise -> one task error, one
+        # retry, non-zero recovery counters to make the sum meaningful.
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="raise", task=0, max_spawn=0),),
+            seed=21,
+        )
+        faulty = WorkerPool(
+            shards=1,
+            prewarm=False,
+            fault_plan=plan,
+            supervision=SupervisionConfig(seed=plan.seed, **FAST),
+        )
+        clean = WorkerPool(shards=1, prewarm=False)
+        retired = WorkerPool(shards=1, prewarm=False)
+        with retired:
+            retired.check_documents(DOCS[:1])
+        assert retired.closed  # stats() must keep working afterwards
+
+        with faulty, clean:
+            faulty.check_documents(DOCS[:2])
+            clean.check_documents(DOCS[:2])
+            rows = [faulty.stats(), clean.stats(), retired.stats()]
+
+        total = aggregate_stats(rows)
+        per_pool = [row["supervision"] for row in rows]
+        assert per_pool[0]["task_errors"] == 1
+        assert per_pool[0]["retries"] == 1
+        assert per_pool[2]["attempts"] == 1  # the closed pool's history
+        for key in (
+            "attempts",
+            "retries",
+            "restarts",
+            "timeouts",
+            "worker_deaths",
+            "task_errors",
+            "respawn_failures",
+            "degraded_tasks",
+            "error_records",
+        ):
+            assert total[key] == sum(stats[key] for stats in per_pool), key
+        assert total["attempts"] == 6  # 2 + 1 retry, 2, 1
+        assert total["degraded"] is False
+        assert total["circuit_open"] is False
+
+    def test_boolean_flags_aggregate_by_any_and_junk_rows_are_skipped(self):
+        from repro.service.supervision import aggregate_stats
+
+        rows = [
+            {"supervision": {"attempts": 2, "degraded": True}},
+            {"supervision": {"attempts": 3, "circuit_open": True}},
+            {},  # a row with no supervision block contributes nothing
+            {"supervision": None},
+            "not-a-dict",
+        ]
+        total = aggregate_stats(rows)
+        assert total["attempts"] == 5
+        assert total["degraded"] is True
+        assert total["circuit_open"] is True
