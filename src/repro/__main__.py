@@ -8,9 +8,13 @@ additionally prints the translated formulas, ``--tree`` the syntax trees,
 machine-readable report instead of the textual summary.
 
 ``python -m repro serve`` runs the long-lived JSON-lines service loop on
-stdin/stdout (see :mod:`repro.service.server` for the protocol), and
-``python -m repro batch <dir>`` checks every ``*.txt`` document in a
-directory concurrently, one JSON report line per document.
+stdin/stdout (see :mod:`repro.service.server` for the protocol) — or,
+with ``--tcp HOST:PORT``, on a listening socket (see
+:mod:`repro.service.gateway`).  ``python -m repro batch <dir>`` checks
+every ``*.txt`` document in a directory concurrently, one JSON report
+line per document; ``--backend remote --bind HOST:PORT`` dispatches to
+``python -m repro worker --connect HOST:PORT`` processes on other
+machines instead of local worker processes.
 """
 
 from __future__ import annotations
@@ -156,7 +160,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="async only: max requests queued per session before new ones "
         "are rejected with 'overloaded' (default: 64)",
     )
+    serve.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        default=None,
+        help="listen on a TCP socket instead of stdio (port 0 picks a "
+        "free port; the bound address is printed to stderr); implies "
+        "the async front end",
+    )
+    serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=64,
+        help="TCP only: concurrent client connections before new ones "
+        "are rejected with 'overloaded' (default: 64)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        help="TCP only: per-connection request rate in requests/second "
+        "(token bucket); excess requests get 'overloaded' (default: none)",
+    )
+    serve.add_argument(
+        "--rate-burst",
+        type=float,
+        default=None,
+        help="TCP only: token-bucket burst capacity (default: the rate)",
+    )
+    serve.add_argument(
+        "--no-client-shutdown",
+        action="store_true",
+        help="TCP only: reject the 'shutdown' op over the network "
+        "(stop the gateway with SIGTERM instead)",
+    )
+    serve.add_argument(
+        "--workers-bind",
+        metavar="HOST:PORT",
+        default=None,
+        help="TCP only: also listen here for 'python -m repro worker' "
+        "registrations and dispatch batch/check work to them instead of "
+        "local worker processes",
+    )
+    serve.add_argument(
+        "--min-workers",
+        type=int,
+        default=1,
+        help="with --workers-bind: wait for this many registered workers "
+        "before the first dispatch (default: 1)",
+    )
     _add_config_arguments(serve)
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a remote pool worker: connect to a dispatcher hub and "
+        "execute its document-check tasks",
+    )
+    worker.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        required=True,
+        help="the RemoteWorkerHub to register with (a 'serve --tcp "
+        "--workers-bind' gateway or a 'batch --backend remote --bind' run)",
+    )
+    worker.add_argument(
+        "--name",
+        default=None,
+        help="stable worker name (default: hostname-pid); reusing a name "
+        "across restarts keeps its registration index, so scheduled "
+        "faults and placement stay deterministic",
+    )
+    worker.add_argument(
+        "--reconnect",
+        action="store_true",
+        help="re-register after the hub hangs up or restarts instead of "
+        "exiting",
+    )
+    worker.add_argument(
+        "--reconnect-delay",
+        type=float,
+        default=0.5,
+        help="seconds between reconnect attempts (default: 0.5)",
+    )
 
     batch = sub.add_parser(
         "batch", help="check every *.txt document in a directory concurrently"
@@ -167,11 +252,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--backend",
-        choices=["thread", "process", "process-fresh"],
+        choices=["thread", "process", "process-fresh", "remote"],
         default="thread",
         help="worker pool backend: thread (shared in-process caches), "
-        "process (persistent sharded worker pool, warm per-process caches) "
-        "or process-fresh (one cold tool per task; the pre-pool reference)",
+        "process (persistent sharded worker pool, warm per-process caches), "
+        "process-fresh (one cold tool per task; the pre-pool reference) "
+        "or remote ('python -m repro worker' processes registered over "
+        "TCP; needs --bind)",
+    )
+    batch.add_argument(
+        "--bind",
+        metavar="HOST:PORT",
+        default=None,
+        help="remote backend: listen for worker registrations here "
+        "(port 0 picks a free port; the bound address is printed to "
+        "stderr)",
+    )
+    batch.add_argument(
+        "--min-workers",
+        type=int,
+        default=1,
+        help="remote backend: wait for this many registered workers "
+        "before dispatching (default: 1)",
     )
     batch.add_argument(
         "--output", type=Path, default=None,
@@ -246,6 +348,17 @@ def run_check(args: argparse.Namespace) -> int:
     return 0 if report.consistent else 1
 
 
+def _parse_address(text: str) -> "tuple":
+    """``HOST:PORT`` → ``(host, port)`` (raises SystemExit on nonsense)."""
+    host, separator, port = text.rpartition(":")
+    if not separator or not host:
+        raise SystemExit(f"expected HOST:PORT, got {text!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(f"invalid port in {text!r}") from None
+
+
 def run_serve(args: argparse.Namespace) -> int:
     from .service.server import DEFAULT_MAX_REQUEST_BYTES, serve, serve_async
 
@@ -255,6 +368,54 @@ def run_serve(args: argparse.Namespace) -> int:
         if args.max_request_bytes is not None
         else DEFAULT_MAX_REQUEST_BYTES
     )
+    if args.tcp is not None:
+        from .service.gateway import serve_tcp
+
+        host, port = _parse_address(args.tcp)
+        hub = None
+        batch_pool = None
+        if args.workers_bind is not None:
+            from .service.pool import WorkerPool, register_shared_pool
+            from .service.remote import RemoteWorkerHub
+
+            worker_host, worker_port = _parse_address(args.workers_bind)
+            hub = RemoteWorkerHub(
+                host=worker_host, port=worker_port, min_workers=args.min_workers
+            )
+            worker_host, worker_port = hub.start()
+            print(
+                f"workers connect to {worker_host}:{worker_port}",
+                file=sys.stderr,
+                flush=True,
+            )
+            # Registered with the shared registry so the stats/metrics
+            # ops report its routing and recovery counters over the wire.
+            batch_pool = register_shared_pool(
+                WorkerPool(
+                    tool=tool,
+                    shards=max(8, 4 * args.min_workers),
+                    remote=hub,
+                )
+            )
+        try:
+            return serve_tcp(
+                host,
+                port,
+                tool=tool,
+                request_timeout=args.request_timeout,
+                max_request_bytes=max_bytes,
+                max_queue=args.max_queue,
+                max_connections=args.max_connections,
+                rate=args.rate_limit,
+                burst=args.rate_burst,
+                allow_shutdown=not args.no_client_shutdown,
+                batch_pool=batch_pool,
+            )
+        finally:
+            if batch_pool is not None:
+                batch_pool.shutdown(wait=False)
+            if hub is not None:
+                hub.close()
     if args.use_async:
         return serve_async(
             tool=tool,
@@ -269,6 +430,18 @@ def run_serve(args: argparse.Namespace) -> int:
     )
 
 
+def run_worker(args: argparse.Namespace) -> int:
+    from .service.remote import run_worker as run_once
+    from .service.remote import run_worker_loop
+
+    host, port = _parse_address(args.connect)
+    if args.reconnect:
+        return run_worker_loop(
+            host, port, name=args.name, reconnect_delay=args.reconnect_delay
+        )
+    return run_once(host, port, name=args.name)
+
+
 def run_batch(args: argparse.Namespace) -> int:
     from .service.batch import BatchChecker
     from .service.supervision import SupervisionConfig
@@ -278,21 +451,40 @@ def run_batch(args: argparse.Namespace) -> int:
         print(f"no *.txt documents in {args.directory}", file=sys.stderr)
         return 2
     supervision = None
-    if args.backend == "process" and (
+    if args.backend in ("process", "remote") and (
         args.task_timeout is not None or args.max_attempts != 3
     ):
         supervision = SupervisionConfig(
             task_timeout=args.task_timeout, max_attempts=args.max_attempts
         )
+    hub = None
+    if args.backend == "remote":
+        if args.bind is None:
+            print("--backend remote needs --bind HOST:PORT", file=sys.stderr)
+            return 2
+        from .service.remote import RemoteWorkerHub
+
+        host, port = _parse_address(args.bind)
+        hub = RemoteWorkerHub(host=host, port=port, min_workers=args.min_workers)
+        host, port = hub.start()
+        print(f"workers connect to {host}:{port}", file=sys.stderr)
+        sys.stderr.flush()
     checker = BatchChecker(
         config=_config_from(args),
-        workers=args.workers,
+        workers=args.workers if args.backend != "remote" else args.min_workers,
         backend=args.backend,
         supervision=supervision,
+        remote=hub,
     )
-    results = checker.check_documents(
-        [(path.name, path.read_text()) for path in paths]
-    )
+    try:
+        results = checker.check_documents(
+            [(path.name, path.read_text()) for path in paths]
+        )
+    finally:
+        if hub is not None:
+            if checker.pool is not None:
+                checker.pool.shutdown()
+            hub.close()
     lines = [
         json.dumps({"name": result.name, "report": result.data}, sort_keys=True)
         for result in results
@@ -316,6 +508,8 @@ def main(argv=None) -> int:
             return run_check(args)
     if args.command == "serve":
         return run_serve(args)
+    if args.command == "worker":
+        return run_worker(args)
     if args.command == "batch":
         with _TraceScope(args):
             return run_batch(args)

@@ -23,6 +23,9 @@ namespace       source
 ``pool.*``      every registered worker pool's ``stats()`` row
 ``supervision.*`` fleet-level recovery counters
                 (:func:`repro.service.supervision.aggregate_stats`)
+``gateway.*``   TCP gateway connection/session gauges
+                (:meth:`repro.service.gateway.SpecGateway.stats`,
+                registered while a gateway is serving)
 =============== ====================================================
 
 On top of the collected namespaces the registry owns *native*

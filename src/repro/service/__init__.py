@@ -19,6 +19,15 @@ hash-consed core and the process-wide component/automaton caches:
 * :func:`serve` / :func:`serve_async` — JSON-lines request loops over
   stdio behind ``python -m repro serve [--async]`` / ``python -m repro
   batch``; the async form multiplexes many concurrent client sessions.
+* :class:`SpecGateway` / :func:`serve_tcp` — the same protocol over TCP
+  (``python -m repro serve --tcp HOST:PORT``): per-connection session
+  namespacing, token-bucket rate limiting, connection caps, graceful
+  drain — see :mod:`~repro.service.gateway`.
+* :class:`RemoteWorkerHub` / ``python -m repro worker --connect`` — the
+  worker pool across machine boundaries: remote processes register over
+  persistent sockets, shards are consistent-hash placed onto them, and
+  supervision treats a dropped connection exactly like a worker death
+  (respawn = await reconnect) — see :mod:`~repro.service.remote`.
 * :mod:`~repro.service.supervision` / :mod:`~repro.service.faults` — the
   fault-tolerance layer: pool dispatch is supervised (retry, respawn,
   watchdog timeout, circuit-breaker degradation to an in-process path),
@@ -32,7 +41,9 @@ All of them speak the one machine-readable report format in
 
 from .batch import BatchChecker, BatchResult
 from .faults import FaultInjected, FaultPlan, FaultSpec
+from .gateway import SpecGateway, TokenBucket, serve_tcp
 from .pool import WorkerPool, document_signature, shared_pool, shutdown_shared_pools
+from .remote import RemoteWorkerDied, RemoteWorkerHub, run_worker
 from .reportjson import error_to_dict, report_to_dict
 from .session import SessionDelta, SessionReport, SpecSession
 from .server import AsyncSpecServer, ServiceError, serve, serve_async
@@ -45,17 +56,23 @@ __all__ = [
     "FaultInjected",
     "FaultPlan",
     "FaultSpec",
+    "RemoteWorkerDied",
+    "RemoteWorkerHub",
     "ServiceError",
     "SessionDelta",
     "SessionReport",
+    "SpecGateway",
     "SpecSession",
     "SupervisionConfig",
+    "TokenBucket",
     "WorkerPool",
     "document_signature",
     "error_to_dict",
     "report_to_dict",
+    "run_worker",
     "serve",
     "serve_async",
+    "serve_tcp",
     "shared_pool",
     "shutdown_shared_pools",
 ]

@@ -30,9 +30,12 @@ their caches warm across tasks, and repeated documents route to the
 shard that already analysed them).  The pre-pool behaviour — a fresh
 ``ProcessPoolExecutor`` task that rebuilds the tool per document —
 survives as ``backend="process-fresh"`` for benchmarking the cold-start
-regression the pool exists to fix.  Either way workers return canonical
-report dictionaries (interned formulas must not cross process
-boundaries).
+regression the pool exists to fix.  ``backend="remote"`` dispatches the
+same tasks to ``python -m repro worker`` processes registered with a
+:class:`~repro.service.remote.RemoteWorkerHub` — other machines' CPUs
+behind the identical pool/supervision seam.  Every backend's workers
+return canonical report dictionaries (interned formulas must not cross
+process boundaries), and every backend's reports are byte-identical.
 """
 
 from __future__ import annotations
@@ -116,7 +119,7 @@ def _process_worker(setup: tuple, item: Tuple[str, Document]) -> dict:
 class BatchChecker:
     """Check many documents concurrently with deterministic results."""
 
-    BACKENDS = ("thread", "process", "process-fresh")
+    BACKENDS = ("thread", "process", "process-fresh", "remote")
 
     def __init__(
         self,
@@ -128,6 +131,7 @@ class BatchChecker:
         pool: Optional[WorkerPool] = None,
         supervision: Optional[SupervisionConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
+        remote=None,
     ) -> None:
         """*tool* overrides *config*: pass it to check with a non-default
         antonym dictionary or signs (the serve loop does, so its batch
@@ -140,11 +144,23 @@ class BatchChecker:
         *supervision* and *fault_plan* configure the pool's recovery
         policy and fault schedule when this checker creates it (they are
         ignored for an injected or already-registered pool).
+
+        ``backend="remote"`` needs *remote* — a started
+        :class:`~repro.service.remote.RemoteWorkerHub` — or an injected
+        remote-backed *pool*; *workers* then means the expected worker
+        count (the pool is sharded finer, ``max(8, 4 * workers)``, so
+        consistent-hash placement stays balanced as workers join and
+        leave).
         """
         if backend not in self.BACKENDS:
             raise ValueError(f"unknown backend {backend!r}")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if backend == "remote" and remote is None and pool is None:
+            raise ValueError(
+                "backend='remote' needs a RemoteWorkerHub (remote=) or a "
+                "remote-backed WorkerPool (pool=)"
+            )
         self.tool = tool if tool is not None else SpecCC(config)
         self.config = self.tool.config
         self.workers = workers
@@ -153,6 +169,7 @@ class BatchChecker:
         self.pool = pool
         self.supervision = supervision
         self.fault_plan = fault_plan
+        self.remote = remote
 
     # ------------------------------------------------------------ running
     def check_documents(
@@ -177,6 +194,8 @@ class BatchChecker:
             return self._run_pool(items)
         if self.backend == "process-fresh":
             return self._run_processes(items)
+        if self.backend == "remote":
+            return self._run_remote(items)
         if self.workers == 1:
             results = []
             for name, document in items:
@@ -252,6 +271,21 @@ class BatchChecker:
                 supervision=self.supervision,
                 fault_plan=self.fault_plan,
             )
+        tasks = pool.check_documents(items)
+        return [BatchResult(task.name, task.data) for task in tasks]
+
+    def _run_remote(self, items: List[Tuple[str, Document]]) -> List[BatchResult]:
+        """Dispatch onto registered remote workers via the hub."""
+        pool = self.pool
+        if pool is None:
+            pool = WorkerPool(
+                tool=self.tool,
+                shards=max(8, 4 * self.workers),
+                remote=self.remote,
+                supervision=self.supervision,
+                fault_plan=self.fault_plan,
+            )
+            self.pool = pool  # reused (and shut down) by the caller
         tasks = pool.check_documents(items)
         return [BatchResult(task.name, task.data) for task in tasks]
 

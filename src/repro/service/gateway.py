@@ -1,0 +1,463 @@
+"""TCP gateway: the JSON-lines serve protocol across machine boundaries.
+
+``python -m repro serve --tcp HOST:PORT`` puts the *exact* protocol the
+stdio front ends speak onto a listening socket.  The gateway adds no
+second protocol implementation: every decoded request line goes through
+the same :meth:`~repro.service.server.AsyncSpecServer.handle_request`
+the ``--async`` stdio loop uses, so ops, session semantics, offloading
+and the closed error-code vocabulary (``bad_json`` / ``bad_request`` /
+``oversized`` / ``timeout`` / ``overloaded`` / ``internal``) are
+identical by construction.  What the network boundary *does* add lives
+here, and only here:
+
+* **Per-connection session namespacing.**  Client session names are
+  rewritten to ``conn<N>/<name>`` before dispatch and rewritten back in
+  responses, so two clients using ``"default"`` get isolated
+  :class:`~repro.service.server.SpecSession` state, exactly as if each
+  had its own stdio server — and a closing connection drops its whole
+  namespace (:meth:`AsyncSpecServer.drop_sessions`), so reconnecting
+  clients cannot leak ``max_sessions`` slots.
+* **Raw-byte request bounds.**  The stdio loops measure the *encoded*
+  length of a decoded line; the gateway never decodes an oversized line
+  in the first place.  Lines are framed by a byte-exact reader that
+  switches to discard mode past ``max_request_bytes`` and answers with
+  one structured ``oversized`` error per offending line, keeping the
+  connection correctly framed (resyncs at the next newline) instead of
+  dropping it.
+* **Admission control.**  A per-client deterministic token bucket
+  (``rate`` requests/second, ``burst`` capacity) answers excess traffic
+  with ``overloaded`` — same code the per-session queue bound uses — and
+  a connection cap answers excess clients with one ``overloaded`` line
+  before close.  Backpressure is always an error *response*, never a
+  silently dropped request.
+* **Graceful drain.**  ``SIGTERM``/``SIGINT`` (or a client ``shutdown``
+  op, unless ``--no-client-shutdown``) stops accepting, lets every
+  in-flight request finish and its response flush, then closes.
+
+Observability: ``gateway.*`` counters (connections, requests,
+rate-limited, oversized, rejected) land in the process
+:func:`~repro.obs.metrics.registry`, and a ``gateway`` collector
+namespace exposes live connection state — both readable over the wire
+through the ordinary ``metrics`` op.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import logging
+import signal
+import sys
+import time
+from typing import Dict, Optional, Tuple
+
+from ..obs.metrics import registry
+from .server import AsyncSpecServer, ServiceError, error_response
+
+logger = logging.getLogger("repro.service.gateway")
+
+#: Network reads are chunked; framing is done here, not by StreamReader
+#: (readline's limit handling consumes differently across versions).
+_READ_CHUNK = 65536
+
+
+class TokenBucket:
+    """Deterministic token bucket: *rate* tokens/second, *burst* capacity.
+
+    Refill is computed from the injected *clock* at acquisition time (no
+    background task), so tests can drive it with a fake clock and assert
+    exact admit/reject sequences.
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._clock = clock
+        self._last = clock()
+
+    def acquire(self, tokens: float = 1.0) -> bool:
+        now = self._clock()
+        self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self.tokens >= tokens:
+            self.tokens -= tokens
+            return True
+        return False
+
+
+async def _iter_lines(reader: "asyncio.StreamReader", max_bytes: int):
+    """Yield ``(line_bytes, oversized)`` per newline-framed record.
+
+    Byte-exact bound enforcement with guaranteed resync: once the
+    accumulating line passes *max_bytes* the reader discards until the
+    next newline and yields one ``(b"", True)`` marker for the whole
+    line, so an attacker streaming a gigabyte line costs one bounded
+    buffer and one error response — never memory, never framing.
+    """
+    buffer = bytearray()
+    discarding = False
+    while True:
+        chunk = await reader.read(_READ_CHUNK)
+        if not chunk:
+            if discarding or len(buffer) > max_bytes:
+                yield b"", True
+            elif buffer:
+                yield bytes(buffer), False
+            return
+        buffer.extend(chunk)
+        while True:
+            index = buffer.find(b"\n")
+            if index < 0:
+                if len(buffer) > max_bytes:
+                    discarding = True
+                    buffer.clear()
+                break
+            line = bytes(buffer[:index].rstrip(b"\r"))
+            del buffer[: index + 1]
+            if discarding:
+                discarding = False
+                yield b"", True
+            elif len(line) > max_bytes:
+                yield b"", True
+            else:
+                yield line, False
+
+
+class _Connection:
+    """One client connection: framing, namespacing, admission, writes."""
+
+    def __init__(
+        self, gateway: "SpecGateway", number: int, reader, writer
+    ) -> None:
+        self.gateway = gateway
+        self.number = number
+        self.prefix = f"conn{number}/"
+        self.reader = reader
+        self.writer = writer
+        self.bucket = (
+            TokenBucket(gateway.rate, gateway.burst, clock=gateway.clock)
+            if gateway.rate is not None
+            else None
+        )
+        self.write_lock = asyncio.Lock()
+        self.pending: set = set()
+        self.requests = 0
+
+    async def write(self, response: dict) -> None:
+        async with self.write_lock:
+            try:
+                self.writer.write(
+                    (json.dumps(response, sort_keys=True) + "\n").encode("utf-8")
+                )
+                await self.writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away mid-response; run() sees the EOF
+
+    def _base(self, request) -> dict:
+        base: dict = {}
+        if isinstance(request, dict):
+            if "rid" in request:
+                base["rid"] = request["rid"]
+            base["session"] = str(request.get("session", "default"))
+        return base
+
+    async def handle(self, request) -> None:
+        """Dispatch one request through the shared server, namespaced."""
+        original: Optional[str] = None
+        if isinstance(request, dict):
+            original = str(request.get("session", "default"))
+            request = dict(request)
+            request["session"] = self.prefix + original
+        response = await self.gateway.server.handle_request(request)
+        if (
+            original is not None
+            and isinstance(response.get("session"), str)
+            and response["session"].startswith(self.prefix)
+        ):
+            response["session"] = original
+        await self.write(response)
+
+    async def run(self) -> None:
+        gateway = self.gateway
+        async for line, oversized in _iter_lines(
+            self.reader, gateway.server.max_request_bytes
+        ):
+            if oversized:
+                registry().counter("gateway.oversized")
+                await self.write(
+                    error_response(
+                        ServiceError(
+                            "request line exceeds "
+                            f"{gateway.server.max_request_bytes} bytes",
+                            code="oversized",
+                        )
+                    )
+                )
+                continue
+            if not line.strip():
+                continue
+            self.requests += 1
+            registry().counter("gateway.requests")
+            try:
+                request = json.loads(line.decode("utf-8"))
+            except Exception as error:  # noqa: BLE001 - bad bytes, bad JSON
+                await self.write(
+                    {
+                        "ok": False,
+                        "error": f"malformed JSON: {error}",
+                        "code": "bad_json",
+                    }
+                )
+                continue
+            if self.bucket is not None and not self.bucket.acquire():
+                registry().counter("gateway.rate_limited")
+                response = error_response(
+                    ServiceError(
+                        f"rate limit exceeded ({gateway.rate:g} requests/s, "
+                        f"burst {gateway.burst:g}); retry later",
+                        code="overloaded",
+                    )
+                )
+                response.update(self._base(request))
+                await self.write(response)
+                continue
+            if isinstance(request, dict) and request.get("op") == "shutdown":
+                if not gateway.allow_shutdown:
+                    response = error_response(
+                        ServiceError(
+                            "shutdown over the network is disabled on this "
+                            "gateway; signal the server process instead"
+                        )
+                    )
+                    response.update(self._base(request))
+                    await self.write(response)
+                    continue
+                # Global drain, exactly like the stdio loops: everything
+                # already accepted (on this connection) finishes first,
+                # the ack goes out, then the whole gateway drains.
+                if self.pending:
+                    await asyncio.gather(*self.pending, return_exceptions=True)
+                    self.pending.clear()
+                await self.handle(request)
+                await gateway.shutdown()
+                return
+            task = asyncio.create_task(self.handle(request))
+            self.pending.add(task)
+            task.add_done_callback(self.pending.discard)
+        if self.pending:
+            await asyncio.gather(*self.pending, return_exceptions=True)
+
+    async def drain_and_close(self) -> None:
+        if self.pending:
+            await asyncio.gather(*self.pending, return_exceptions=True)
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class SpecGateway:
+    """The listening front end wrapping one shared
+    :class:`~repro.service.server.AsyncSpecServer`.
+
+    *rate*/*burst* arm the per-connection token bucket (None disables
+    it); *max_connections* caps concurrently served clients (excess
+    connections get one ``overloaded`` line and a close);
+    *allow_shutdown* gates the client-initiated ``shutdown`` op —
+    disable it on shared deployments so one client cannot stop the
+    service for everyone.  *clock* feeds the token buckets (tests).
+    """
+
+    def __init__(
+        self,
+        server: Optional[AsyncSpecServer] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_connections: int = 64,
+        rate: Optional[float] = None,
+        burst: Optional[float] = None,
+        allow_shutdown: bool = True,
+        clock=time.monotonic,
+    ) -> None:
+        self.server = server if server is not None else AsyncSpecServer()
+        self.host = host
+        self.port = port
+        self.max_connections = max_connections
+        self.rate = rate
+        self.burst = burst if burst is not None else (rate if rate else None)
+        self.allow_shutdown = allow_shutdown
+        self.clock = clock
+        self._tcp: Optional[asyncio.AbstractServer] = None
+        self._connections: Dict[int, _Connection] = {}
+        self._numbers = itertools.count(1)
+        self._draining = False
+        self._done: Optional[asyncio.Event] = None
+        self._accepted = 0
+        self._rejected = 0
+
+    # ---------------------------------------------------------- lifecycle
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and begin accepting; returns the bound ``(host, port)``."""
+        if self._tcp is not None:
+            return self.address
+        self._done = asyncio.Event()
+        self._tcp = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.host, self.port = self._tcp.sockets[0].getsockname()[:2]
+        registry().register_collector("gateway", self.stats)
+        logger.info("gateway listening on %s:%d", self.host, self.port)
+        return self.address
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, close."""
+        if self._draining:
+            return
+        self._draining = True
+        logger.info("gateway draining (%d connections)", len(self._connections))
+        if self._tcp is not None:
+            self._tcp.close()
+            await self._tcp.wait_closed()
+        for connection in list(self._connections.values()):
+            await connection.drain_and_close()
+        if self._done is not None:
+            self._done.set()
+
+    async def run(self) -> int:
+        """Serve until a drain completes (signal or client shutdown)."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum,
+                    lambda: asyncio.ensure_future(self.shutdown()),
+                )
+            except (NotImplementedError, RuntimeError, ValueError):
+                break  # platform or non-main-thread: signals unavailable
+        assert self._done is not None
+        await self._done.wait()
+        return 0
+
+    # --------------------------------------------------------- connections
+    async def _on_connection(self, reader, writer) -> None:
+        if self._draining or len(self._connections) >= self.max_connections:
+            self._rejected += 1
+            registry().counter("gateway.rejected")
+            reason = (
+                "gateway is shutting down"
+                if self._draining
+                else f"gateway at capacity ({self.max_connections} connections)"
+            )
+            try:
+                writer.write(
+                    (
+                        json.dumps(
+                            error_response(
+                                ServiceError(reason, code="overloaded")
+                            ),
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    ).encode("utf-8")
+                )
+                await writer.drain()
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+            return
+        number = next(self._numbers)
+        connection = _Connection(self, number, reader, writer)
+        self._connections[number] = connection
+        self._accepted += 1
+        registry().counter("gateway.connections")
+        try:
+            await connection.run()
+        except (ConnectionError, OSError):
+            pass  # half-open sockets surface here; namespace cleanup below
+        finally:
+            self._connections.pop(number, None)
+            dropped = self.server.drop_sessions(connection.prefix)
+            if dropped:
+                registry().counter("gateway.sessions_dropped", dropped)
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    # ------------------------------------------------------- observability
+    def stats(self) -> dict:
+        return {
+            "address": f"{self.host}:{self.port}",
+            "connections_open": len(self._connections),
+            "connections_total": self._accepted,
+            "connections_rejected": self._rejected,
+            "draining": self._draining,
+            "rate": self.rate,
+            "burst": self.burst,
+            "max_connections": self.max_connections,
+        }
+
+
+def serve_tcp(
+    host: str,
+    port: int,
+    tool=None,
+    request_timeout: Optional[float] = None,
+    max_request_bytes: Optional[int] = None,
+    max_queue: int = 64,
+    max_connections: int = 64,
+    rate: Optional[float] = None,
+    burst: Optional[float] = None,
+    allow_shutdown: bool = True,
+    batch_pool=None,
+) -> int:
+    """Blocking entry point of ``python -m repro serve --tcp HOST:PORT``.
+
+    Prints one ``listening on HOST:PORT`` line to stderr once bound
+    (port 0 picks a free port — harnesses parse this line), then serves
+    until SIGTERM/SIGINT or a client ``shutdown``.
+    """
+    from .server import DEFAULT_MAX_REQUEST_BYTES
+
+    server = AsyncSpecServer(
+        tool,
+        request_timeout=request_timeout,
+        max_request_bytes=(
+            max_request_bytes
+            if max_request_bytes is not None
+            else DEFAULT_MAX_REQUEST_BYTES
+        ),
+        max_queue=max_queue,
+        batch_pool=batch_pool,
+    )
+    gateway = SpecGateway(
+        server,
+        host=host,
+        port=port,
+        max_connections=max_connections,
+        rate=rate,
+        burst=burst,
+        allow_shutdown=allow_shutdown,
+    )
+
+    async def main() -> int:
+        await gateway.start()
+        print(
+            f"listening on {gateway.host}:{gateway.port}",
+            file=sys.stderr,
+            flush=True,
+        )
+        return await gateway.run()
+
+    return asyncio.run(main())

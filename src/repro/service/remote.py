@@ -1,0 +1,681 @@
+"""Remote workers: the :class:`~repro.service.pool.WorkerPool` across
+machine boundaries.
+
+The pool was built transport-agnostic on purpose — signature-based shard
+routing, picklable task/delta records, supervision driven through three
+duck-typed hooks (``_dispatch`` / ``_respawn_shard`` / ``_inline_check``)
+— so going remote replaces exactly one seam: instead of a per-shard
+``ProcessPoolExecutor``, dispatch targets a worker process *on another
+machine* that registered over a persistent TCP connection.  Everything
+above the seam is unchanged: the supervisor still retries task errors,
+still counts a dropped connection as a worker death, still escalates
+respawn (which here means *wait for the worker to reconnect*) and still
+degrades to the in-process sequential path when the circuit breaker
+trips — and reports stay byte-identical to ``workers=1``, because remote
+workers run the very same :func:`~repro.service.pool._worker_check` over
+the very same warm per-process caches.
+
+Wire protocol — JSON lines, one object per line, over one persistent
+socket per worker:
+
+* **register** (worker → hub): ``{"op": "register", "worker": NAME,
+  "pid": N}``.  The hub replies ``{"ok": true, "setup": B64,
+  "prewarm": bool, "index": i, "spawn": s, "faults": B64|null}``: the
+  pool's worker setup (config + antonym dictionary + signs) and optional
+  :class:`~repro.service.faults.FaultPlan`, pickled and base64-encoded
+  (the channel is a trusted LAN transport, like the process pool's pipe
+  it replaces); *index* is the worker's stable registration index (the
+  fault plans' ``shard``), *spawn* its per-name registration generation
+  (so ``max_spawn=0`` faults do not re-fire after a reconnect).
+* **task** (hub → worker): ``{"id": n, "name": ..., "document": ...,
+  "trace": bool}`` — the exact ``(name, document[, trace])`` item
+  :meth:`WorkerPool._dispatch` already builds, JSON-framed.  The worker
+  answers ``{"id": n, "ok": true, "data": REPORT, "delta": DELTA}`` (the
+  canonical report dict plus the cache-attribution/span delta — both
+  already plain data) or ``{"id": n, "ok": false, "type": ...,
+  "error": ...}`` for a raising pipeline; the hub rebuilds an exception
+  whose type *name* matches the original, so supervised error records
+  stay byte-identical across local and remote backends.
+* **snapshot** (hub → worker): ``{"id": n, "snapshot": true}`` →
+  ``{"id": n, "ok": true, "data": CACHE_SNAPSHOT}``.
+
+**Placement.**  Shards map onto registered workers by consistent
+hashing: each live worker contributes ``placement_replicas`` virtual
+points on a hash ring and a shard lands on the first point at or after
+its own hash.  A worker joining or leaving therefore moves only the
+shards that hashed to it — every other shard keeps its warm worker.
+
+**Failure model.**  A dropped connection fails that worker's in-flight
+futures with :class:`RemoteWorkerDied` — a ``BrokenExecutor`` subclass,
+so the supervisor's existing worker-death ladder applies verbatim.
+``_respawn_shard`` becomes :meth:`RemoteWorkerHub.respawn`: disconnect
+the shard's current worker if it is presumed hung (watchdog timeout),
+then block until any live worker — typically the dead one's supervised
+restart re-registering — can host the shard, up to
+``reconnect_timeout``; if none does, the raise feeds the circuit
+breaker exactly like a failed process respawn.
+
+Start a worker with ``python -m repro worker --connect HOST:PORT``
+(`--reconnect` keeps it re-registering after hub restarts).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import itertools
+import json
+import logging
+import os
+import pickle
+import socket
+import threading
+import time
+from bisect import bisect_left
+from concurrent.futures import BrokenExecutor, Future
+from typing import Dict, List, Optional, Tuple
+
+from .supervision import WorkerUnavailable
+
+logger = logging.getLogger("repro.service.remote")
+
+#: Virtual ring points per worker: enough that shard placement over a
+#: handful of workers is close to even, cheap enough to rebuild on every
+#: membership change.
+DEFAULT_PLACEMENT_REPLICAS = 64
+
+
+class RemoteWorkerDied(BrokenExecutor):
+    """A remote worker's connection dropped with tasks in flight.
+
+    Subclasses :class:`concurrent.futures.BrokenExecutor` so the
+    supervisor's worker-death handling (count, respawn-as-reconnect,
+    retry) applies to remote workers without a single special case.
+    """
+
+
+def _hash_point(key: str) -> int:
+    """Stable 64-bit ring position (``PYTHONHASHSEED``-free)."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+#: Rebuilt exception types by original name — the supervisor renders
+#: error records via ``type(error).__name__``, so a remote task error
+#: must surface under its *original* type name for records to stay
+#: byte-identical with the in-process backends.
+_ERROR_TYPES: Dict[str, type] = {}
+_ERROR_TYPES_LOCK = threading.Lock()
+
+
+def rebuild_error(type_name: str, message: str) -> BaseException:
+    with _ERROR_TYPES_LOCK:
+        cls = _ERROR_TYPES.get(type_name)
+        if cls is None:
+            cls = type(str(type_name), (RuntimeError,), {})
+            _ERROR_TYPES[type_name] = cls
+    return cls(message)
+
+
+def _encode_blob(obj: object) -> str:
+    return base64.b64encode(pickle.dumps(obj)).decode("ascii")
+
+
+def _decode_blob(text: str) -> object:
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+def _send_json(wfile, message: dict, lock: Optional[threading.Lock] = None) -> None:
+    payload = (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+    if lock is None:
+        wfile.write(payload)
+        wfile.flush()
+    else:
+        with lock:
+            wfile.write(payload)
+            wfile.flush()
+
+
+def _decode_document(document):
+    """JSON round-trips requirement pairs as lists; restore tuples."""
+    if isinstance(document, str):
+        return document
+    return [tuple(pair) for pair in document]
+
+
+# ---------------------------------------------------------------- hub side
+class _RemoteWorker:
+    """One registered worker connection (hub side).
+
+    ``submit`` is pipelining-safe: requests carry correlation ids, a
+    dedicated reader thread resolves the matching futures, so several
+    shards placed on one worker may have tasks in flight concurrently
+    (the worker executes them serially, in arrival order).
+    """
+
+    def __init__(self, hub: "RemoteWorkerHub", sock, rfile, name: str,
+                 index: int, spawn: int) -> None:
+        self.hub = hub
+        self.name = name
+        self.index = index
+        self.spawn = spawn
+        self._sock = sock
+        self._rfile = rfile
+        self._wfile = sock.makefile("wb")
+        self._write_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._pending: Dict[int, Future] = {}
+        self._ids = itertools.count()
+        self.alive = True
+        self.tasks = 0
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"remote-{name}", daemon=True
+        )
+
+    def start(self) -> None:
+        self._reader.start()
+
+    # -------------------------------------------------------- submitting
+    def _submit_message(self, message: dict) -> "Future":
+        future: "Future" = Future()
+        with self._state_lock:
+            if not self.alive:
+                raise RemoteWorkerDied(
+                    f"remote worker {self.name!r} is disconnected"
+                )
+            rid = next(self._ids)
+            self._pending[rid] = future
+            self.tasks += 1
+        message["id"] = rid
+        try:
+            _send_json(self._wfile, message, self._write_lock)
+        except (OSError, ValueError) as error:
+            self._fail(
+                RemoteWorkerDied(
+                    f"write to remote worker {self.name!r} failed: {error}"
+                )
+            )
+        return future
+
+    def submit(self, item: Tuple) -> "Future":
+        """Dispatch one ``(name, document[, trace])`` pool item."""
+        return self._submit_message(
+            {
+                "name": item[0],
+                "document": item[1],
+                "trace": len(item) > 2 and bool(item[2]),
+            }
+        )
+
+    def snapshot(self) -> "Future":
+        return self._submit_message({"snapshot": True})
+
+    # ----------------------------------------------------------- reading
+    def _read_loop(self) -> None:
+        try:
+            for raw in self._rfile:
+                message = json.loads(raw.decode("utf-8"))
+                with self._state_lock:
+                    future = self._pending.pop(message.get("id"), None)
+                if future is None:
+                    continue
+                if message.get("ok"):
+                    future.set_result((message["data"], message.get("delta", {})))
+                else:
+                    future.set_exception(
+                        rebuild_error(
+                            message.get("type", "RuntimeError"),
+                            message.get("error", "remote task failed"),
+                        )
+                    )
+            self._fail(
+                RemoteWorkerDied(f"remote worker {self.name!r} disconnected")
+            )
+        except Exception as error:  # noqa: BLE001 - connection-level failure
+            self._fail(
+                RemoteWorkerDied(
+                    f"remote worker {self.name!r} connection failed: {error}"
+                )
+            )
+
+    def _fail(self, error: BaseException) -> None:
+        """Mark dead, leave the ring, fail every in-flight future.
+
+        Ring removal happens *before* the futures fail: by the time the
+        supervisor reacts to the worker death, placement already routes
+        around the dead worker, so respawn-as-reconnect cannot
+        accidentally disconnect a healthy replacement.
+        """
+        with self._state_lock:
+            if not self.alive:
+                return
+            self.alive = False
+            pending, self._pending = self._pending, {}
+        self.hub._on_worker_lost(self)
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+        self._close_socket()
+
+    def _close_socket(self) -> None:
+        for closer in (self._wfile.close, self._rfile.close, self._sock.close):
+            try:
+                closer()
+            except Exception:  # noqa: BLE001 - already torn down is fine
+                pass
+
+    def disconnect(self, error: BaseException) -> None:
+        """Forcibly drop the connection (presumed-hung worker)."""
+        logger.warning("disconnecting remote worker %r: %s", self.name, error)
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._fail(error)
+
+
+class RemoteWorkerHub:
+    """The dispatcher-side registry remote workers connect to.
+
+    Start it, hand it to ``WorkerPool(remote=hub)``, and point any
+    number of ``python -m repro worker --connect host:port`` processes
+    at :attr:`address`.  The hub owns registration (shipping the pool's
+    tool setup and fault plan to each worker), consistent-hash placement
+    of pool shards onto live workers, and connection failure detection;
+    the pool and its supervisor own everything else.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        min_workers: int = 1,
+        register_timeout: float = 60.0,
+        reconnect_timeout: float = 30.0,
+        placement_replicas: int = DEFAULT_PLACEMENT_REPLICAS,
+    ) -> None:
+        """*min_workers* gates pool startup (``ensure_started`` blocks
+        until that many workers registered, up to *register_timeout*
+        seconds); *reconnect_timeout* bounds how long a supervised
+        respawn waits for a worker to (re)connect before the failure
+        counts toward the circuit breaker."""
+        self.host = host
+        self.port = port
+        self.min_workers = min_workers
+        self.register_timeout = register_timeout
+        self.reconnect_timeout = reconnect_timeout
+        self.placement_replicas = placement_replicas
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._workers: Dict[str, _RemoteWorker] = {}  # live, by name
+        self._indices: Dict[str, int] = {}  # stable registration index
+        self._spawns: Dict[str, int] = {}  # per-name registration count
+        self._registrations = 0
+        self._lost = 0
+        self._disconnects = 0
+        self._setup_blob: Optional[str] = None
+        self._prewarm = True
+        self._fault_blob: Optional[str] = None
+        self._attached = threading.Event()
+        self._server_sock: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # ---------------------------------------------------------- lifecycle
+    def start(self) -> Tuple[str, int]:
+        """Begin listening; returns the bound ``(host, port)``."""
+        if self._server_sock is not None:
+            return self.address
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.host, self.port))
+        sock.listen(16)
+        self._server_sock = sock
+        self.host, self.port = sock.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="remote-hub-accept", daemon=True
+        )
+        self._accept_thread.start()
+        logger.info("remote worker hub listening on %s:%d", self.host, self.port)
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def attach(self, setup: tuple, prewarm: bool, fault_plan) -> None:
+        """Install the worker setup registrations will ship (the pool
+        calls this from its constructor; registration acks block until
+        it has happened)."""
+        self._setup_blob = _encode_blob(setup)
+        self._prewarm = prewarm
+        self._fault_blob = _encode_blob(fault_plan) if fault_plan else None
+        self._attached.set()
+
+    def close(self) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers.values())
+        if self._server_sock is not None:
+            try:
+                self._server_sock.close()
+            except OSError:
+                pass
+        for worker in workers:
+            worker.disconnect(RemoteWorkerDied("hub shut down"))
+
+    def __enter__(self) -> "RemoteWorkerHub":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------- registration
+    def _accept_loop(self) -> None:
+        assert self._server_sock is not None
+        while True:
+            try:
+                sock, _peer = self._server_sock.accept()
+            except OSError:  # listener closed
+                return
+            threading.Thread(
+                target=self._register_connection,
+                args=(sock,),
+                name="remote-hub-register",
+                daemon=True,
+            ).start()
+
+    def _register_connection(self, sock) -> None:
+        """One handshake: read the register line, ack with the setup."""
+        try:
+            sock.settimeout(self.register_timeout)
+            rfile = sock.makefile("rb")
+            raw = rfile.readline()
+            message = json.loads(raw.decode("utf-8")) if raw else None
+            if not isinstance(message, dict) or message.get("op") != "register":
+                raise ValueError(f"expected register message, got {message!r}")
+            if not self._attached.wait(timeout=self.register_timeout):
+                raise TimeoutError("no pool attached to the hub")
+            requested = message.get("worker")
+            with self._cond:
+                if self._closed:
+                    raise OSError("hub is closed")
+                name = str(
+                    requested
+                    if requested
+                    else f"worker-{self._registrations}"
+                )
+                index = self._indices.setdefault(name, len(self._indices))
+                spawn = self._spawns.get(name, 0)
+                self._spawns[name] = spawn + 1
+                self._registrations += 1
+                previous = self._workers.get(name)
+            if previous is not None:
+                # Same name re-registering while the old connection is
+                # still considered live: the old one is stale (e.g. a
+                # half-dead socket) — drop it first.
+                previous.disconnect(
+                    RemoteWorkerDied(f"worker {name!r} re-registered")
+                )
+            sock.settimeout(None)
+            worker = _RemoteWorker(self, sock, rfile, name, index, spawn)
+            _send_json(
+                worker._wfile,
+                {
+                    "ok": True,
+                    "setup": self._setup_blob,
+                    "prewarm": self._prewarm,
+                    "index": index,
+                    "spawn": spawn,
+                    "faults": self._fault_blob,
+                },
+                worker._write_lock,
+            )
+            worker.start()
+            with self._cond:
+                self._workers[name] = worker
+                self._cond.notify_all()
+            logger.info(
+                "remote worker %r registered (index %d, spawn %d)",
+                name, index, spawn,
+            )
+        except Exception as error:  # noqa: BLE001 - bad handshakes are logged
+            logger.warning("remote worker registration failed: %s", error)
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _on_worker_lost(self, worker: _RemoteWorker) -> None:
+        with self._cond:
+            if self._workers.get(worker.name) is worker:
+                del self._workers[worker.name]
+            self._lost += 1
+            self._cond.notify_all()
+        logger.warning("remote worker %r left the ring", worker.name)
+
+    # ---------------------------------------------------------- placement
+    def _ring(self) -> Tuple[List[int], List[_RemoteWorker]]:
+        """Sorted virtual points for the current live membership
+        (callers hold ``_lock``)."""
+        points: List[Tuple[int, str]] = []
+        for name in self._workers:
+            for replica in range(self.placement_replicas):
+                points.append((_hash_point(f"{name}#{replica}"), name))
+        points.sort()
+        return (
+            [point for point, _ in points],
+            [self._workers[name] for _, name in points],
+        )
+
+    def worker_for(self, shard: int) -> _RemoteWorker:
+        """The live worker hosting *shard* (consistent-hash placement)."""
+        with self._lock:
+            points, workers = self._ring()
+            if not points:
+                raise WorkerUnavailable(
+                    f"no remote worker registered to host shard {shard}"
+                )
+            position = bisect_left(points, _hash_point(f"shard:{shard}"))
+            return workers[position % len(workers)]
+
+    def placement(self, shards: int) -> Dict[int, str]:
+        """Shard → worker-name map for inspection and tests."""
+        return {
+            shard: self.worker_for(shard).name for shard in range(shards)
+        }
+
+    # -------------------------------------------------------- supervision
+    def workers(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._workers))
+
+    def wait_for_workers(self, count: int, timeout: Optional[float]) -> bool:
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: len(self._workers) >= count, timeout
+            )
+
+    def respawn(self, shard: int, suspect: Optional[_RemoteWorker] = None) -> None:
+        """The pool's ``_respawn_shard`` hook, remote flavour.
+
+        *suspect* is the worker that served the failing dispatch; if it
+        is still connected it is presumed hung (watchdog timeout) and
+        forcibly disconnected — a genuinely dead worker already removed
+        itself when its connection dropped.  Then block until *any* live
+        worker can host the shard (typically the dead worker's
+        supervised restart re-registering), raising after
+        ``reconnect_timeout`` so the supervisor's circuit breaker sees
+        the failure.
+        """
+        if suspect is not None and suspect.alive:
+            self._disconnects += 1
+            suspect.disconnect(
+                RemoteWorkerDied(
+                    f"worker {suspect.name!r} presumed hung; disconnected"
+                )
+            )
+        if not self.wait_for_workers(1, self.reconnect_timeout):
+            raise WorkerUnavailable(
+                f"no remote worker reconnected for shard {shard} within "
+                f"{self.reconnect_timeout}s"
+            )
+
+    def snapshots(self) -> List[dict]:
+        """Each live worker's cache snapshot (one round-trip each)."""
+        with self._lock:
+            workers = [self._workers[name] for name in sorted(self._workers)]
+        snapshots: List[dict] = []
+        for worker in workers:
+            try:
+                data, _delta = worker.snapshot().result(timeout=30.0)
+                snapshots.append(data)
+            except Exception:  # noqa: BLE001 - worker died under us
+                snapshots.append({"unavailable": True})
+        return snapshots
+
+    def stats(self) -> dict:
+        with self._lock:
+            live = {
+                name: {
+                    "index": worker.index,
+                    "spawn": worker.spawn,
+                    "tasks": worker.tasks,
+                }
+                for name, worker in sorted(self._workers.items())
+            }
+            return {
+                "address": f"{self.host}:{self.port}",
+                "workers": live,
+                "registrations": self._registrations,
+                "lost": self._lost,
+                "forced_disconnects": self._disconnects,
+            }
+
+
+# -------------------------------------------------------------- worker side
+def _default_worker_name() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def run_worker(
+    host: str,
+    port: int,
+    name: Optional[str] = None,
+    connect_timeout: float = 30.0,
+) -> int:
+    """Connect to a hub, register, and serve tasks until it hangs up.
+
+    This is the remote counterpart of the pool's worker initializer plus
+    task loop: registration ships back the pool's tool setup, which is
+    installed through the ordinary
+    :func:`~repro.service.pool._worker_init` (same prewarm, same fault
+    arming), and every task runs through the ordinary
+    :func:`~repro.service.pool._worker_check` — so a remote worker's
+    reports, cache deltas and span batches are indistinguishable from a
+    local shard's.  Returns 0 on a clean hub hang-up, 1 on a failed
+    registration.
+    """
+    from .pool import _worker_check, _worker_init, _worker_snapshot
+
+    worker_name = name or _default_worker_name()
+    sock = socket.create_connection((host, port), timeout=connect_timeout)
+    try:
+        sock.settimeout(None)
+        rfile = sock.makefile("rb")
+        wfile = sock.makefile("wb")
+        _send_json(
+            wfile,
+            {"op": "register", "worker": worker_name, "pid": os.getpid()},
+        )
+        raw = rfile.readline()
+        ack = json.loads(raw.decode("utf-8")) if raw else None
+        if not isinstance(ack, dict) or not ack.get("ok"):
+            logger.error("registration rejected: %r", ack)
+            return 1
+        setup = _decode_blob(ack["setup"])
+        fault_plan = (
+            _decode_blob(ack["faults"]) if ack.get("faults") else None
+        )
+        _worker_init(
+            setup,
+            bool(ack.get("prewarm", True)),
+            shard=int(ack.get("index", 0)),
+            spawn=int(ack.get("spawn", 0)),
+            fault_plan=fault_plan,
+        )
+        logger.info(
+            "worker %r registered with %s:%d (index %s, spawn %s)",
+            worker_name, host, port, ack.get("index"), ack.get("spawn"),
+        )
+        for raw in rfile:
+            message = json.loads(raw.decode("utf-8"))
+            if message.get("snapshot"):
+                reply = {
+                    "id": message.get("id"),
+                    "ok": True,
+                    "data": _worker_snapshot(),
+                    "delta": {},
+                }
+            else:
+                item = (
+                    str(message["name"]),
+                    _decode_document(message["document"]),
+                    bool(message.get("trace")),
+                )
+                try:
+                    data, delta = _worker_check(item)
+                except Exception as error:  # noqa: BLE001 - shipped, not fatal
+                    reply = {
+                        "id": message.get("id"),
+                        "ok": False,
+                        "type": type(error).__name__,
+                        "error": str(error),
+                    }
+                else:
+                    reply = {
+                        "id": message.get("id"),
+                        "ok": True,
+                        "data": data,
+                        "delta": delta,
+                    }
+            _send_json(wfile, reply)
+        return 0
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def run_worker_loop(
+    host: str,
+    port: int,
+    name: Optional[str] = None,
+    reconnect_delay: float = 0.5,
+    max_reconnects: Optional[int] = None,
+) -> int:
+    """`run_worker` wrapped in a reconnect loop (``worker --reconnect``).
+
+    Re-registers after hub restarts or dropped connections, with a fixed
+    delay between attempts; *max_reconnects* bounds the attempts (None =
+    keep trying until killed).  Note this cannot resurrect the *process*
+    — a ``crash`` fault's ``os._exit`` needs an external supervisor
+    (systemd, the CI soak harness, ...) to restart the worker, which
+    then re-registers under the same name at the next spawn generation.
+    """
+    attempts = 0
+    code = 1
+    while True:
+        try:
+            code = run_worker(host, port, name=name)
+        except OSError as error:
+            logger.warning("worker connection failed: %s", error)
+            code = 1
+        attempts += 1
+        if max_reconnects is not None and attempts > max_reconnects:
+            return code
+        time.sleep(reconnect_delay)

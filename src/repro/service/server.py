@@ -79,6 +79,25 @@ from .session import SessionReport, SpecSession
 DEFAULT_MAX_REQUEST_BYTES = 1 << 20
 
 
+def line_exceeds_bytes(line: str, bound: int) -> bool:
+    """True when *line*'s UTF-8 encoding exceeds *bound* bytes.
+
+    The bound is a *byte* bound (the resource being protected is buffer
+    memory), so it must be measured on the encoded length: a character
+    count undercounts multi-byte UTF-8 by up to 4x.  The character count
+    still serves as a cheap two-sided filter — ``len(line) > bound``
+    means the bytes exceed it too, and ``len(line) * 4 <= bound`` means
+    even all-4-byte text cannot reach it — so the encode only runs for
+    lines near the bound.  The TCP gateway never gets here: it reads raw
+    bytes off the socket and bounds them before decoding.
+    """
+    if len(line) > bound:
+        return True
+    if len(line) * 4 <= bound:
+        return False
+    return len(line.encode("utf-8")) > bound
+
+
 class ServiceError(Exception):
     """A request failure with a machine-readable *code* (see module doc)."""
 
@@ -140,10 +159,16 @@ class _Server:
         self,
         tool: Optional[SpecCC] = None,
         default_batch_backend: str = "thread",
+        batch_pool=None,
     ) -> None:
+        """*batch_pool* pins a specific :class:`~repro.service.pool.
+        WorkerPool` for ``batch`` requests (the TCP gateway passes its
+        remote-worker pool here); without one, ``backend="process"``
+        falls back to the shared registry pool."""
         self.tool = tool if tool is not None else SpecCC()
         self.session = SpecSession(self.tool)
         self.default_batch_backend = default_batch_backend
+        self.batch_pool = batch_pool
         self.running = True
         self._started = time.monotonic()
 
@@ -215,8 +240,22 @@ class _Server:
 
     def _op_batch(self, request: dict) -> dict:
         documents = self._require(request, "documents")
+        if not isinstance(documents, (list, tuple)):
+            raise ValueError(
+                "documents must be an array of objects, got "
+                f"{type(documents).__name__}"
+            )
         items = []
-        for entry in documents:
+        for position, entry in enumerate(documents):
+            # Shape-checked explicitly: a list or string entry would raise
+            # AttributeError below, which error_code() classifies as
+            # "internal" — but a malformed request is the client's fault
+            # and must say "bad_request" on both the sync and async paths.
+            if not isinstance(entry, dict):
+                raise ValueError(
+                    f"documents[{position}] must be an object with 'text' "
+                    f"or 'requirements', got {type(entry).__name__}"
+                )
             name = str(entry.get("name", f"doc{len(items) + 1}"))
             if "text" in entry:
                 items.append((name, str(entry["text"])))
@@ -235,6 +274,7 @@ class _Server:
             tool=self.tool,
             workers=max(1, min(int(request.get("workers", 4)), self.MAX_BATCH_WORKERS)),
             backend=str(request.get("backend", self.default_batch_backend)),
+            pool=self.batch_pool,
         )
         results = checker.check_documents(items)
         return {
@@ -370,6 +410,7 @@ class AsyncSpecServer:
         request_timeout: Optional[float] = None,
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
         max_queue: int = 64,
+        batch_pool=None,
     ) -> None:
         """*max_sessions* bounds the number of concurrently held client
         sessions: each named session keeps a :class:`SpecSession` alive
@@ -390,6 +431,7 @@ class AsyncSpecServer:
         self.request_timeout = request_timeout
         self.max_request_bytes = max_request_bytes
         self.max_queue = max_queue
+        self.batch_pool = batch_pool
         self._sessions: dict = {}
         self._locks: dict = {}
         self._queued: dict = {}  # session name -> requests waiting/running
@@ -398,6 +440,22 @@ class AsyncSpecServer:
     @property
     def session_names(self) -> tuple:
         return tuple(self._sessions)
+
+    def drop_sessions(self, prefix: str) -> int:
+        """Discard every session whose name starts with *prefix*.
+
+        The TCP gateway namespaces each connection's sessions under a
+        per-connection prefix and drops the namespace when the
+        connection closes — without this, every reconnecting client
+        would permanently consume ``max_sessions`` slots.  Returns the
+        number of sessions dropped.
+        """
+        names = [name for name in self._sessions if name.startswith(prefix)]
+        for name in names:
+            self._sessions.pop(name, None)
+            self._locks.pop(name, None)
+            self._queued.pop(name, None)
+        return len(names)
 
     def _session(self, name: str):
         server = self._sessions.get(name)
@@ -408,7 +466,9 @@ class AsyncSpecServer:
                     "reuse or reset an existing session"
                 )
             server = _Server(
-                self.tool, default_batch_backend=self.default_batch_backend
+                self.tool,
+                default_batch_backend=self.default_batch_backend,
+                batch_pool=self.batch_pool,
             )
             self._sessions[name] = server
             self._locks[name] = asyncio.Lock()
@@ -444,7 +504,9 @@ class AsyncSpecServer:
                     code="overloaded",
                 )
             self._queued[name] = queued + 1
-            async with lock:  # in-order, one at a time per session
+            await lock.acquire()  # in-order, one at a time per session
+            held = True
+            try:
                 if op in self.OFFLOADED_OPS:
                     loop = asyncio.get_running_loop()
                     work = loop.run_in_executor(None, server.handle, request)
@@ -453,19 +515,40 @@ class AsyncSpecServer:
                     async def run_inline():
                         return server.handle(request)
 
-                    work = run_inline()
+                    work = asyncio.ensure_future(run_inline())
                 if self.request_timeout is not None:
                     try:
                         result = await asyncio.wait_for(
-                            work, timeout=self.request_timeout
+                            asyncio.shield(work), timeout=self.request_timeout
                         )
                     except asyncio.TimeoutError:
+                        # The deadline abandons the *response*, not the
+                        # handler: an offloaded handler keeps running on
+                        # its executor thread, still mutating this
+                        # session.  Releasing the lock here would let the
+                        # session's next request interleave with it —
+                        # violating the strictly-sequential-per-session
+                        # contract — so the lock is handed to the
+                        # abandoned future and released only when it
+                        # actually completes.  (shield() keeps *work*
+                        # uncancelled so that completion is observable.)
+                        held = False
+
+                        def _release_when_done(future) -> None:
+                            if not future.cancelled():
+                                future.exception()  # consumed, never re-raised
+                            lock.release()
+
+                        work.add_done_callback(_release_when_done)
                         raise ServiceError(
                             f"request exceeded {self.request_timeout}s",
                             code="timeout",
                         ) from None
                 else:
                     result = await work
+            finally:
+                if held:
+                    lock.release()
             if not server.running:
                 self.running = False  # shutdown is global, as in sync serve
             response = {"ok": True, "op": op}
@@ -521,9 +604,9 @@ async def serve_async_loop(
         line = await loop.run_in_executor(None, stdin.readline)
         if not line:
             break
-        if len(line) > server.max_request_bytes:
-            # Checked on raw bytes, before parsing: an oversized line must
-            # not cost a parse, and must not silently drop the request.
+        if line_exceeds_bytes(line, server.max_request_bytes):
+            # Checked on encoded bytes, before parsing: an oversized line
+            # must not cost a parse, and must not silently drop the request.
             await write(
                 error_response(
                     ServiceError(
@@ -611,7 +694,7 @@ def serve(
         )
     try:
         for line in stdin:
-            if len(line) > max_request_bytes:
+            if line_exceeds_bytes(line, max_request_bytes):
                 response = error_response(
                     ServiceError(
                         f"request line exceeds {max_request_bytes} bytes",

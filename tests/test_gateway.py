@@ -1,0 +1,352 @@
+"""Tests of the TCP gateway (service/gateway.py).
+
+The contract under test: the gateway speaks exactly the stdio serve
+protocol (same ops, same error codes, byte-identical responses for the
+same requests), adds connection-level behaviour — per-connection session
+namespacing, raw-byte oversized handling with resync, token-bucket rate
+limiting, connection caps, graceful drain — and never answers protocol
+pressure by dropping a connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.service.gateway import SpecGateway, TokenBucket, _iter_lines
+from repro.service.server import AsyncSpecServer, normalize_response
+
+from test_service import run_serve_async
+
+
+def normalize(response: dict) -> str:
+    return json.dumps(normalize_response(response), sort_keys=True)
+
+
+class _Client:
+    """One JSON-lines TCP client connection."""
+
+    def __init__(self, reader, writer) -> None:
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, gateway: SpecGateway) -> "_Client":
+        reader, writer = await asyncio.open_connection(*gateway.address)
+        return cls(reader, writer)
+
+    async def send_raw(self, data: bytes) -> None:
+        self.writer.write(data)
+        await self.writer.drain()
+
+    async def recv(self) -> dict:
+        line = await asyncio.wait_for(self.reader.readline(), timeout=30.0)
+        assert line, "connection closed while a response was expected"
+        return json.loads(line.decode("utf-8"))
+
+    async def request(self, payload) -> dict:
+        if isinstance(payload, (dict, list)):
+            payload = json.dumps(payload)
+        await self.send_raw(payload.encode("utf-8") + b"\n")
+        return await self.recv()
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class _Running:
+    """A started gateway plus its run() task, as an async context."""
+
+    def __init__(self, gateway: SpecGateway) -> None:
+        self.gateway = gateway
+        self.task = None
+
+    async def __aenter__(self) -> SpecGateway:
+        await self.gateway.start()
+        self.task = asyncio.ensure_future(self.gateway.run())
+        return self.gateway
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.gateway.shutdown()
+        await asyncio.wait_for(self.task, timeout=10.0)
+
+
+SCRIPT = [
+    {"op": "add", "id": "R1", "text": "If the sensor is active, the valve is opened.", "rid": 1},
+    {"op": "check", "timings": False, "rid": 2},
+    {"op": "update", "id": "R1", "text": "If the sensor is active, the valve is not opened.", "rid": 3},
+    {"op": "check", "timings": False, "rid": 4},
+]
+
+
+class TestTokenBucket:
+    def test_burst_then_refill_deterministic(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=lambda: clock[0])
+        assert bucket.acquire() is True
+        assert bucket.acquire() is True
+        assert bucket.acquire() is False  # burst exhausted
+        clock[0] = 0.5  # one token refilled (2/s * 0.5s)
+        assert bucket.acquire() is True
+        assert bucket.acquire() is False
+        clock[0] = 100.0  # refill caps at burst, not rate * elapsed
+        assert bucket.acquire() is True
+        assert bucket.acquire() is True
+        assert bucket.acquire() is False
+
+    def test_rejects_nonsense(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=-1)
+
+
+class TestLineFraming:
+    """The raw-byte reader: exact bounds, guaranteed resync."""
+
+    def _frames(self, chunks, max_bytes):
+        async def drive():
+            reader = asyncio.StreamReader()
+            for chunk in chunks:
+                reader.feed_data(chunk)
+            reader.feed_eof()
+            return [frame async for frame in _iter_lines(reader, max_bytes)]
+
+        return asyncio.run(drive())
+
+    def test_plain_lines(self):
+        frames = self._frames([b"abc\ndef\n"], 16)
+        assert frames == [(b"abc", False), (b"def", False)]
+
+    def test_exact_bound_passes_one_over_fails(self):
+        frames = self._frames([b"x" * 8 + b"\n" + b"y" * 9 + b"\n"], 8)
+        assert frames == [(b"x" * 8, False), (b"", True)]
+
+    def test_oversized_line_resyncs_at_newline(self):
+        big = b"z" * 100
+        frames = self._frames([big + b"\n" + b"ok\n"], 10)
+        assert frames == [(b"", True), (b"ok", False)]
+
+    def test_oversized_across_many_chunks(self):
+        chunks = [b"z" * 7, b"z" * 7, b"z" * 7, b"\nok\n"]
+        frames = self._frames(chunks, 10)
+        assert frames == [(b"", True), (b"ok", False)]
+
+    def test_trailing_line_without_newline(self):
+        assert self._frames([b"tail"], 16) == [(b"tail", False)]
+        assert self._frames([b"t" * 32], 16) == [(b"", True)]
+
+    def test_crlf_stripped(self):
+        assert self._frames([b"abc\r\n"], 16) == [(b"abc", False)]
+
+
+class TestGateway:
+    def test_protocol_byte_identical_to_stdio_async_serve(self):
+        """The tentpole contract: the same request script over TCP and
+        over the stdio async front end produces byte-identical
+        normalized responses — the gateway adds transport, never a
+        second protocol."""
+
+        async def over_tcp():
+            async with _Running(SpecGateway(AsyncSpecServer())) as gateway:
+                client = await _Client.connect(gateway)
+                responses = [await client.request(line) for line in SCRIPT]
+                await client.close()
+                return responses
+
+        tcp = [normalize(r) for r in asyncio.run(over_tcp())]
+        stdio = [normalize(r) for r in run_serve_async(SCRIPT)]
+        assert tcp == stdio
+        # The session was stateful across requests: the second check saw
+        # the update (revision advanced, edit reanalyzed).
+        assert '"revision": 2' in tcp[-1]
+        assert '"reanalyzed": true' in tcp[-1]
+
+    def test_connection_namespacing_isolates_sessions(self):
+        """Two clients both using session 'default' must not share
+        SpecSession state — and a closed connection's sessions are
+        dropped from the shared server."""
+
+        async def drive():
+            server = AsyncSpecServer()
+            async with _Running(SpecGateway(server)) as gateway:
+                first = await _Client.connect(gateway)
+                second = await _Client.connect(gateway)
+                added = await first.request(
+                    {"op": "add", "id": "R1", "text": "The valve is opened."}
+                )
+                other = await second.request(
+                    {"op": "check", "timings": False}
+                )
+                names_live = server.session_names
+                await first.close()
+                await second.close()
+                await asyncio.sleep(0.1)  # connection teardown runs async
+                return added, other, names_live, server.session_names
+
+        added, other, names_live, names_after = asyncio.run(drive())
+        assert added["ok"] is True and added["size"] == 1
+        assert added["session"] == "default"  # namespace prefix restored
+        # The second client's 'default' session saw an empty document.
+        assert other["ok"] is True
+        assert other["report"]["requirements"] == []
+        assert {name.split("/")[0] for name in names_live} == {"conn1", "conn2"}
+        assert names_after == ()
+
+    def test_oversized_lines_over_tcp(self):
+        """Raw-byte bound at the network boundary: a multi-byte line
+        whose characters fit but whose bytes do not is rejected with
+        'oversized', and the connection resyncs for the next request."""
+
+        async def drive():
+            server = AsyncSpecServer(max_request_bytes=1024)
+            async with _Running(SpecGateway(server)) as gateway:
+                client = await _Client.connect(gateway)
+                multi = json.dumps(
+                    {"op": "add", "id": "R1", "text": "é" * 700},
+                    ensure_ascii=False,
+                )
+                assert len(multi) <= 1024 < len(multi.encode("utf-8"))
+                first = await client.request(multi)
+                giant = await client.request("x" * 100_000)
+                ping = await client.request({"op": "ping"})
+                await client.close()
+                return first, giant, ping
+
+        first, giant, ping = asyncio.run(drive())
+        assert first["code"] == "oversized"
+        assert giant["code"] == "oversized"
+        assert ping["ok"] is True
+
+    def test_rate_limit_answers_overloaded(self):
+        clock = [0.0]
+
+        async def drive():
+            gateway = SpecGateway(
+                AsyncSpecServer(), rate=1.0, burst=2.0, clock=lambda: clock[0]
+            )
+            async with _Running(gateway):
+                client = await _Client.connect(gateway)
+                admitted = [
+                    await client.request({"op": "ping", "rid": i})
+                    for i in range(3)
+                ]
+                clock[0] = 1.5  # refill one token
+                after = await client.request({"op": "ping", "rid": 99})
+                await client.close()
+                return admitted, after
+
+        admitted, after = asyncio.run(drive())
+        assert [r["ok"] for r in admitted] == [True, True, False]
+        assert admitted[2]["code"] == "overloaded"
+        assert admitted[2]["rid"] == 2  # rejection echoes the request id
+        assert after["ok"] is True
+
+    def test_connection_cap_rejects_with_overloaded(self):
+        async def drive():
+            gateway = SpecGateway(AsyncSpecServer(), max_connections=1)
+            async with _Running(gateway):
+                first = await _Client.connect(gateway)
+                await first.request({"op": "ping"})  # connection is live
+                second = await _Client.connect(gateway)
+                rejection = await second.recv()
+                tail = await second.reader.read()
+                still = await first.request({"op": "ping"})
+                await first.close()
+                await second.close()
+                return rejection, tail, still
+
+        rejection, tail, still = asyncio.run(drive())
+        assert rejection["ok"] is False
+        assert rejection["code"] == "overloaded"
+        assert tail == b""  # rejected connection is closed after the line
+        assert still["ok"] is True
+
+    def test_metrics_and_stats_over_the_wire(self):
+        async def drive():
+            async with _Running(SpecGateway(AsyncSpecServer())) as gateway:
+                client = await _Client.connect(gateway)
+                await client.request({"op": "ping"})
+                metrics = await client.request({"op": "metrics", "full": False})
+                await client.close()
+                return metrics, gateway.stats()
+
+        metrics, stats = asyncio.run(drive())
+        assert metrics["ok"] is True
+        payload = metrics["metrics"]
+        assert payload["gateway"]["connections_open"] >= 1
+        assert payload["counters"]["gateway.requests"] >= 1
+        assert stats["connections_total"] == 1
+        assert stats["draining"] is False  # captured while still serving
+
+    def test_client_shutdown_drains_gateway(self):
+        async def drive():
+            gateway = SpecGateway(AsyncSpecServer())
+            await gateway.start()
+            run = asyncio.ensure_future(gateway.run())
+            client = await _Client.connect(gateway)
+            ack = await client.request({"op": "shutdown"})
+            await asyncio.wait_for(run, timeout=10.0)
+            await client.close()
+            return ack, gateway.stats()
+
+        ack, stats = asyncio.run(drive())
+        assert ack["ok"] is True
+        assert stats["draining"] is True
+
+    def test_client_shutdown_can_be_disabled(self):
+        async def drive():
+            gateway = SpecGateway(AsyncSpecServer(), allow_shutdown=False)
+            async with _Running(gateway):
+                client = await _Client.connect(gateway)
+                refusal = await client.request({"op": "shutdown"})
+                ping = await client.request({"op": "ping"})
+                await client.close()
+                return refusal, ping
+
+        refusal, ping = asyncio.run(drive())
+        assert refusal["ok"] is False
+        assert refusal["code"] == "bad_request"
+        assert ping["ok"] is True  # the gateway is still serving
+
+    def test_batch_over_tcp_byte_identical_to_sequential(self):
+        """The 13-doc corpus through a TCP batch op matches the
+        sequential workers=1 reference byte for byte."""
+        from repro import BatchChecker
+        from test_pool import CORPUS13
+
+        sequential = [
+            json.dumps(result.data, sort_keys=True)
+            for result in BatchChecker(workers=1).check_documents(CORPUS13)
+        ]
+
+        async def drive():
+            async with _Running(SpecGateway(AsyncSpecServer())) as gateway:
+                client = await _Client.connect(gateway)
+                response = await client.request(
+                    {
+                        "op": "batch",
+                        "backend": "thread",
+                        "workers": 4,
+                        "documents": [
+                            {"name": name, "text": text}
+                            for name, text in CORPUS13
+                        ],
+                    }
+                )
+                await client.close()
+                return response
+
+        response = asyncio.run(drive())
+        assert response["ok"] is True
+        got = [
+            json.dumps(entry["report"], sort_keys=True)
+            for entry in response["results"]
+        ]
+        assert got == sequential

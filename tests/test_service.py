@@ -1020,6 +1020,134 @@ class TestServeHardening:
         assert session.stats()["pending_edits"] == 0
         assert session.stats()["revision"] == 1
 
+    # ------------------------------------------------- protocol bugfixes
+    def test_multibyte_oversized_sync(self):
+        """`max_request_bytes` bounds *bytes*, not characters: a line
+        whose character count is under the bound but whose UTF-8
+        encoding is over it must be rejected as oversized (pre-fix,
+        ``len(line)`` counted characters and multi-byte requests up to
+        4x the bound slipped past)."""
+        out = io.StringIO()
+        big = json.dumps(
+            {"op": "add", "id": "R1", "text": "é" * 700}, ensure_ascii=False
+        )
+        assert len(big) <= 1024 < len(big.encode("utf-8"))
+        payload = big + "\n" + json.dumps({"op": "ping"}) + "\n"
+        serve(io.StringIO(payload), out, max_request_bytes=1024)
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert responses[0]["ok"] is False
+        assert responses[0]["code"] == "oversized"
+        assert responses[1]["ok"] is True
+
+    def test_multibyte_oversized_async(self):
+        from repro.service.server import serve_async_loop
+
+        async def drive():
+            out = io.StringIO()
+            server = AsyncSpecServer(max_request_bytes=1024)
+            big = json.dumps(
+                {"op": "add", "id": "R1", "text": "é" * 700}, ensure_ascii=False
+            )
+            assert len(big) <= 1024 < len(big.encode("utf-8"))
+            stdin = io.StringIO(big + "\n" + json.dumps({"op": "ping"}) + "\n")
+            await serve_async_loop(stdin, out, server=server)
+            return [json.loads(line) for line in out.getvalue().splitlines()]
+
+        responses = asyncio.run(drive())
+        assert responses[0]["ok"] is False
+        assert responses[0]["code"] == "oversized"
+        assert any(r["ok"] and r.get("op") == "ping" for r in responses[1:])
+
+    def test_ascii_lines_under_bound_still_pass(self):
+        """The byte-exact check must not reject what the old check
+        accepted: ASCII lines at or under the bound go through."""
+        out = io.StringIO()
+        request = json.dumps({"op": "add", "id": "R1", "text": "x" * 200})
+        serve(
+            io.StringIO(request + "\n"),
+            out,
+            # The raw line includes its newline, and always has.
+            max_request_bytes=len(request) + 1,
+        )
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert responses[0]["ok"] is True
+
+    def test_timeout_does_not_interleave_session_requests(self):
+        """A timed-out request abandons the *response*, not the handler:
+        the session's next request must queue until the abandoned
+        handler thread actually finishes (pre-fix, the session lock was
+        released on timeout and the next request interleaved with the
+        still-running handler, violating strictly-sequential-per-session
+        semantics)."""
+        import threading
+
+        from repro.service.server import _Server
+
+        order = []
+        release = threading.Event()
+
+        class SlowServer(_Server):
+            def _op_check(self, request):  # offloaded: runs on a thread
+                order.append("stall:start")
+                release.wait(5.0)
+                order.append("stall:end")
+                return {}
+
+            def _op_add(self, request):  # inline: the probing request
+                order.append("probe")
+                return {"size": 0}
+
+        async def drive():
+            server = AsyncSpecServer(request_timeout=0.2)
+            slow = SlowServer(server.tool)
+            server._sessions["default"] = slow
+            server._locks["default"] = asyncio.Lock()
+            first = await server.handle_request({"op": "check"})
+            assert first["code"] == "timeout"
+            # The timed-out handler is still blocked on its thread.
+            # Issue the session's next request, give it every chance to
+            # interleave, and only then let the handler finish.
+            probe = asyncio.ensure_future(
+                server.handle_request({"op": "add", "id": "R1", "text": "x"})
+            )
+            await asyncio.sleep(0.3)
+            interleaved = "probe" in order
+            release.set()
+            second = await probe
+            return first, second, interleaved
+
+        first, second, interleaved = asyncio.run(drive())
+        assert first["ok"] is False
+        assert not interleaved, "request ran while the timed-out handler was live"
+        assert second["ok"] is True
+        assert order == ["stall:start", "stall:end", "probe"]
+
+    def test_batch_malformed_entry_is_bad_request_sync(self):
+        """Non-object batch entries are the client's fault: they must be
+        classified 'bad_request', not 'internal' (pre-fix, a list/string
+        entry raised AttributeError deep in _op_batch)."""
+        responses = run_serve(
+            [
+                {"op": "batch", "documents": "not a list"},
+                {"op": "batch", "documents": [["R1", "The valve is opened."]]},
+                {
+                    "op": "batch",
+                    "documents": [
+                        {"name": "ok", "text": "The valve is opened."},
+                        "nope",
+                    ],
+                },
+            ]
+        )
+        assert [r["ok"] for r in responses] == [False, False, False]
+        assert [r["code"] for r in responses] == ["bad_request"] * 3
+        assert "documents[1]" in responses[2]["error"]
+
+    def test_batch_malformed_entry_is_bad_request_async(self):
+        responses = run_serve_async([{"op": "batch", "documents": [42]}])
+        assert responses[0]["ok"] is False
+        assert responses[0]["code"] == "bad_request"
+
 
 class TestCLI:
     def test_check_json(self, tmp_path, capsys):
@@ -1094,6 +1222,55 @@ class TestCLI:
             ["batch", ".", "--backend", "process-fresh"]
         )
         assert args.backend == "process-fresh"
+
+    def test_serve_accepts_tcp_flags(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--tcp", "127.0.0.1:0",
+                "--rate-limit", "5",
+                "--rate-burst", "10",
+                "--max-connections", "2",
+                "--no-client-shutdown",
+                "--workers-bind", "127.0.0.1:0",
+                "--min-workers", "2",
+            ]
+        )
+        assert args.tcp == "127.0.0.1:0"
+        assert args.rate_limit == 5.0
+        assert args.rate_burst == 10.0
+        assert args.max_connections == 2
+        assert args.no_client_shutdown is True
+        assert args.workers_bind == "127.0.0.1:0"
+        assert args.min_workers == 2
+        assert build_parser().parse_args(["serve"]).tcp is None
+
+    def test_worker_subcommand_parses(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(
+            ["worker", "--connect", "host:7401", "--name", "w0", "--reconnect"]
+        )
+        assert args.connect == "host:7401"
+        assert args.name == "w0"
+        assert args.reconnect is True
+
+    def test_batch_accepts_remote_backend(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "batch", ".",
+                "--backend", "remote",
+                "--bind", "127.0.0.1:0",
+                "--min-workers", "2",
+            ]
+        )
+        assert args.backend == "remote"
+        assert args.bind == "127.0.0.1:0"
+        assert args.min_workers == 2
 
     def test_json_rejects_textual_flags(self, tmp_path, capsys):
         document = tmp_path / "spec.txt"
