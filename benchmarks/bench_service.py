@@ -26,6 +26,16 @@ for:
 * **async_serve**: the ``serve --async`` front end multiplexing many
   concurrent client sessions over one event loop, with per-session
   responses checked against dedicated sequential serve runs.
+* **recovery**: what restarting with a write-ahead journal buys — the
+  13-document corpus served through journaled durable sessions (each
+  document its own token, a few maintenance edits of history, snapshot
+  compaction on), then "crashed" (all in-memory state and caches
+  discarded) and brought back two ways: ``JournalStore.recover`` replay,
+  and a cold client re-driving its full edit history from scratch.
+  Both are byte-compared against the pre-crash acknowledged reports;
+  replay must win, because compaction collapsed each journal's history
+  to a snapshot plus its tail while the cold path pays for every
+  intermediate check again.
 * **remote**: the same 13-document corpus dispatched to real ``python -m
   repro worker`` subprocesses over loopback TCP, at 1 and 2 workers,
   with a deterministic 15 ms per-task service delay injected through the
@@ -65,7 +75,7 @@ from repro.service.batch import BatchChecker  # noqa: E402
 from repro.service.pool import WorkerPool  # noqa: E402
 from repro.service.server import serve, serve_async  # noqa: E402
 
-SCHEMA = "repro-bench-service/4"
+SCHEMA = "repro-bench-service/5"
 
 
 def _config() -> SpecCCConfig:
@@ -353,6 +363,141 @@ def bench_fault_recovery(quick: bool) -> Dict[str, object]:
     }
 
 
+# ---------------------------------------------------------------- recovery
+def bench_recovery(quick: bool) -> Dict[str, object]:
+    """Journal replay vs cold re-analysis after a crash.
+
+    Phase 1 serves the 13-document corpus through journaled durable
+    sessions (one token per document; ``load`` + check, then a few
+    edit-and-recheck rounds of history; ``fsync="always"`` so the serve
+    timing includes honest durability cost; compaction on).  Phase 2
+    discards every cache and in-memory session — the crash — and times
+    :meth:`JournalStore.recover` replaying every journal.  Phase 3 is
+    the journal-less alternative: a cold server re-driven through each
+    document's full edit history.  All three must acknowledge
+    byte-identical final reports (``timings=False`` convention).
+    """
+    import shutil
+    import tempfile
+
+    from repro.service.journal import JournalStore
+    from repro.service.reportjson import report_to_dict
+    from repro.service.server import _Server
+
+    documents = fault_documents()
+    edit_rounds = 2 if quick else 4
+
+    def history(index: int, text: str) -> List[dict]:
+        """One client's requests for document *index*: load + check, then
+        the paper's maintenance loop — the same requirement updated and
+        re-checked every round.  Each round's sentence is unique (the
+        subject carries the round number), so every intermediate version
+        costs a real component analysis: exactly the work a snapshot
+        makes the replay path skip and the cold path pay again."""
+        requests: List[dict] = [
+            {"op": "load", "document": text},
+            {"op": "check", "timings": False},
+        ]
+        for round_ in range(1, edit_rounds + 1):
+            requests.append(
+                {
+                    "op": "add" if round_ == 1 else "update",
+                    "id": "E0",
+                    "text": (
+                        f"If the relay {index * 10 + round_} is closed, "
+                        f"the alarm {index} is sounded."
+                    ),
+                }
+            )
+            requests.append({"op": "check", "timings": False})
+        return requests
+
+    def final_report(session) -> str:
+        return json.dumps(
+            report_to_dict(session.last_report.report, timings=False),
+            sort_keys=True,
+        )
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench-journal-"))
+    try:
+        # Phase 1: journaled serving (the durability tax is in this number).
+        SpecCC.clear_caches()
+        # compact_every lands the (single) compaction exactly on each
+        # history's final check, so every journal collapses to one
+        # snapshot: replay re-analyses only each document's *final*
+        # state, never the superseded intermediate versions.
+        store = JournalStore(
+            workdir, fsync="always", compact_every=2 * edit_rounds + 2
+        )
+        tool = SpecCC(_config())
+        reference: Dict[str, str] = {}
+        start = time.perf_counter()
+        for index, (name, text) in enumerate(documents, start=1):
+            server = _Server(tool, journal_store=store)
+            server.handle({"op": "attach", "token": name})
+            for rid, request in enumerate(history(index, text), start=1):
+                last = server.handle(dict(request, rid=rid))
+            reference[name] = json.dumps(last["report"], sort_keys=True)
+        serve_seconds = time.perf_counter() - start
+        serve_counters = store.counters()
+        store.close()
+
+        # Phase 2: the crash, then recovery by journal replay.
+        SpecCC.clear_caches()
+        recovery_store = JournalStore(workdir, fsync="always")
+        start = time.perf_counter()
+        recovered = recovery_store.recover(SpecCC(_config()))
+        recovery_seconds = time.perf_counter() - start
+        replay_match = len(recovered) == len(documents) and all(
+            final_report(durable.session) == reference[token]
+            for token, durable in recovered.items()
+        )
+        recovery_counters = recovery_store.counters()
+        recovery_store.close()
+
+        # Phase 3: the crash again, recovered the only way a journal-less
+        # service can — every client re-drives its whole edit history.
+        SpecCC.clear_caches()
+        cold_tool = SpecCC(_config())
+        cold_match = True
+        start = time.perf_counter()
+        for index, (name, text) in enumerate(documents, start=1):
+            server = _Server(cold_tool)
+            for request in history(index, text):
+                last = server.handle(dict(request))
+            cold_match = cold_match and (
+                json.dumps(last["report"], sort_keys=True) == reference[name]
+            )
+        cold_seconds = time.perf_counter() - start
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    return {
+        "documents": len(documents),
+        "edit_rounds": edit_rounds,
+        "serve": {
+            "seconds": serve_seconds,
+            "fsync": "always",
+            "appends": serve_counters["appends"],
+            "fsyncs": serve_counters["fsyncs"],
+            "compactions": serve_counters["compactions"],
+        },
+        "replay": {
+            "seconds": recovery_seconds,
+            "recovered_sessions": recovery_counters["recovered_sessions"],
+            "replayed_records": recovery_counters["replayed_records"],
+            "truncated_tails": recovery_counters["truncated_tails"],
+        },
+        "cold": {"seconds": cold_seconds},
+        "speedup": (
+            round(cold_seconds / recovery_seconds, 2)
+            if recovery_seconds > 0
+            else None
+        ),
+        "byte_identical": replay_match and cold_match,
+    }
+
+
 # ------------------------------------------------------------------ remote
 #: Deterministic per-task service delay injected into every remote
 #: worker (``kind="delay"``, every shard, every task).  The remote tier
@@ -584,6 +729,7 @@ def build_report(quick: bool) -> Dict:
         "batch": bench_batch(quick),
         "fault_recovery": bench_fault_recovery(quick),
         "async_serve": bench_async_serve(quick),
+        "recovery": bench_recovery(quick),
         "remote": bench_remote(quick),
     }
 
@@ -649,6 +795,17 @@ def main(argv: List[str] | None = None) -> int:
         f"{async_serve['requests']} requests in {async_serve['seconds']:.3f}s  "
         f"({async_serve['requests_per_sec']} req/s)  "
         f"responses_match: {async_serve['responses_match']}"
+    )
+    recovery = report["recovery"]
+    print(
+        f"recovery: serve {recovery['serve']['seconds']:.3f}s "
+        f"({recovery['serve']['appends']} appends, "
+        f"{recovery['serve']['compactions']} compactions)  "
+        f"replay {recovery['replay']['seconds']:.3f}s "
+        f"({recovery['replay']['replayed_records']} records)  "
+        f"cold {recovery['cold']['seconds']:.3f}s  "
+        f"speedup {recovery['speedup']}x  "
+        f"byte_identical: {recovery['byte_identical']}"
     )
     remote = report["remote"]
     for count in ("1", "2"):

@@ -195,6 +195,32 @@ def build_parser() -> argparse.ArgumentParser:
         "(stop the gateway with SIGTERM instead)",
     )
     serve.add_argument(
+        "--journal",
+        type=Path,
+        metavar="DIR",
+        default=None,
+        help="durable sessions: write-ahead journal every session "
+        "mutation under DIR, recover (replay) existing journals at "
+        "startup, and enable the 'attach' op for client resume "
+        "(see the README's Durability & recovery section)",
+    )
+    serve.add_argument(
+        "--journal-fsync",
+        default="always",
+        metavar="POLICY",
+        help="journal durability policy: 'always' (fsync every append), "
+        "'interval:<n>' (fsync every n appends) or 'never' (flush to "
+        "the OS only) (default: always)",
+    )
+    serve.add_argument(
+        "--journal-compact-every",
+        type=int,
+        default=256,
+        metavar="N",
+        help="snapshot-compact a session's journal once N records have "
+        "accumulated (0 disables compaction; default: 256)",
+    )
+    serve.add_argument(
         "--workers-bind",
         metavar="HOST:PORT",
         default=None,
@@ -240,7 +266,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--reconnect-delay",
         type=float,
         default=0.5,
-        help="seconds between reconnect attempts (default: 0.5)",
+        help="base delay of the reconnect backoff; consecutive failed "
+        "attempts back off exponentially (seeded jitter) from here "
+        "(default: 0.5)",
+    )
+    worker.add_argument(
+        "--reconnect-cap",
+        type=float,
+        default=30.0,
+        help="upper bound on the reconnect backoff delay in seconds "
+        "(default: 30)",
     )
 
     batch = sub.add_parser(
@@ -368,6 +403,20 @@ def run_serve(args: argparse.Namespace) -> int:
         if args.max_request_bytes is not None
         else DEFAULT_MAX_REQUEST_BYTES
     )
+    journal_store = None
+    if args.journal is not None:
+        from .service.faults import FaultPlan, install_journal
+        from .service.journal import JournalStore
+
+        # REPRO_FAULTS journal faults (journal_crash / journal_torn) are
+        # armed only on journaling serve processes — the soak harnesses'
+        # crash injection point.
+        install_journal(FaultPlan.from_env())
+        journal_store = JournalStore(
+            args.journal,
+            fsync=args.journal_fsync,
+            compact_every=args.journal_compact_every,
+        )
     if args.tcp is not None:
         from .service.gateway import serve_tcp
 
@@ -410,24 +459,34 @@ def run_serve(args: argparse.Namespace) -> int:
                 burst=args.rate_burst,
                 allow_shutdown=not args.no_client_shutdown,
                 batch_pool=batch_pool,
+                journal_store=journal_store,
             )
         finally:
             if batch_pool is not None:
                 batch_pool.shutdown(wait=False)
             if hub is not None:
                 hub.close()
-    if args.use_async:
-        return serve_async(
+            if journal_store is not None:
+                journal_store.close()
+    try:
+        if args.use_async:
+            return serve_async(
+                tool=tool,
+                request_timeout=args.request_timeout,
+                max_request_bytes=max_bytes,
+                max_queue=args.max_queue,
+                journal_store=journal_store,
+            )
+        return serve(
             tool=tool,
             request_timeout=args.request_timeout,
             max_request_bytes=max_bytes,
-            max_queue=args.max_queue,
+            journal_store=journal_store,
+            install_signal_handlers=True,
         )
-    return serve(
-        tool=tool,
-        request_timeout=args.request_timeout,
-        max_request_bytes=max_bytes,
-    )
+    finally:
+        if journal_store is not None:
+            journal_store.close()
 
 
 def run_worker(args: argparse.Namespace) -> int:
@@ -437,7 +496,11 @@ def run_worker(args: argparse.Namespace) -> int:
     host, port = _parse_address(args.connect)
     if args.reconnect:
         return run_worker_loop(
-            host, port, name=args.name, reconnect_delay=args.reconnect_delay
+            host,
+            port,
+            name=args.name,
+            reconnect_delay=args.reconnect_delay,
+            reconnect_cap=args.reconnect_cap,
         )
     return run_once(host, port, name=args.name)
 

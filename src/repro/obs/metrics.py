@@ -26,6 +26,11 @@ namespace       source
 ``gateway.*``   TCP gateway connection/session gauges
                 (:meth:`repro.service.gateway.SpecGateway.stats`,
                 registered while a gateway is serving)
+``journal.*``   durable-session journal counters — appends, fsyncs,
+                compactions, replayed records, truncated tails,
+                duplicate acks
+                (:meth:`repro.service.journal.JournalStore.stats`,
+                registered while a serve loop journals)
 =============== ====================================================
 
 On top of the collected namespaces the registry owns *native*

@@ -33,6 +33,11 @@ hash-consed core and the process-wide component/automaton caches:
   watchdog timeout, circuit-breaker degradation to an in-process path),
   and every failure mode is reproducible on schedule through a seeded
   :class:`FaultPlan` (or the ``REPRO_FAULTS`` environment variable).
+* :class:`JournalStore` / :mod:`~repro.service.journal` — durable
+  sessions for every serve front end (``--journal DIR``): per-session
+  write-ahead journals with CRC-framed records, snapshot compaction,
+  crash-consistent replay to byte-identical reports, and the ``attach``
+  op for reconnect-and-resume with exactly-once edit application.
 
 All of them speak the one machine-readable report format in
 :mod:`repro.service.reportjson`, shared with ``python -m repro check
@@ -42,6 +47,7 @@ All of them speak the one machine-readable report format in
 from .batch import BatchChecker, BatchResult
 from .faults import FaultInjected, FaultPlan, FaultSpec
 from .gateway import SpecGateway, TokenBucket, serve_tcp
+from .journal import DurableSession, JournalStore, SessionJournal
 from .pool import WorkerPool, document_signature, shared_pool, shutdown_shared_pools
 from .remote import RemoteWorkerDied, RemoteWorkerHub, run_worker
 from .reportjson import error_to_dict, report_to_dict
@@ -53,13 +59,16 @@ __all__ = [
     "AsyncSpecServer",
     "BatchChecker",
     "BatchResult",
+    "DurableSession",
     "FaultInjected",
     "FaultPlan",
     "FaultSpec",
+    "JournalStore",
     "RemoteWorkerDied",
     "RemoteWorkerHub",
     "ServiceError",
     "SessionDelta",
+    "SessionJournal",
     "SessionReport",
     "SpecGateway",
     "SpecSession",

@@ -51,7 +51,28 @@ from typing import Dict, Optional, Tuple
 #: Environment variable holding a JSON fault plan (see FaultPlan.from_env).
 FAULTS_ENV_VAR = "REPRO_FAULTS"
 
-_KINDS = ("crash", "delay", "raise", "crash_init")
+_KINDS = (
+    "crash",
+    "delay",
+    "raise",
+    "crash_init",
+    "journal_crash",
+    "journal_torn",
+)
+
+#: The serving-process kinds that hook the durable-session journal's
+#: append path (see :func:`install_journal`) rather than a worker:
+#:
+#: * ``"journal_crash"`` — the process dies *after* the matching record
+#:   is durably appended but *before* the client is acknowledged: the
+#:   retry window that rid-based exactly-once deduplication exists for.
+#: * ``"journal_torn"`` — only half of the matching record's frame
+#:   reaches the disk before the process dies: the torn-tail window the
+#:   journal's CRC framing must detect and truncate, never replay.
+#:
+#: For these kinds ``task`` is the per-process journal *append* ordinal
+#: (0-based, across all sessions) and the shard/spawn window is ignored.
+_JOURNAL_KINDS = ("journal_crash", "journal_torn")
 
 
 class FaultInjected(RuntimeError):
@@ -224,6 +245,51 @@ def on_task_start() -> None:
             time.sleep(spec.seconds)
         else:
             os._exit(1)
+
+
+_JOURNAL_STATE: Optional[_FaultState] = None
+
+
+def install_journal(plan: Optional[FaultPlan]) -> None:
+    """Arm *plan*'s journal faults in this (serving) process.
+
+    Kept separate from the worker-side :func:`install` state: the serve
+    process hosts the journal while its workers host the task faults,
+    and the two ordinal counters (task index vs. append index) must not
+    interfere.  ``plan=None`` (or a plan without journal kinds) disarms.
+    """
+    global _JOURNAL_STATE
+    if plan is None or not any(s.kind in _JOURNAL_KINDS for s in plan.specs):
+        _JOURNAL_STATE = None
+        return
+    _JOURNAL_STATE = _FaultState(plan=plan, shard=0, spawn=0)
+
+
+def uninstall_journal() -> None:
+    """Disarm journal fault injection in this process (tests)."""
+    install_journal(None)
+
+
+def on_journal_append() -> Optional[str]:
+    """Advance the append ordinal; the fault due now, if any.
+
+    :class:`~repro.service.journal.SessionJournal` calls this once per
+    append, *before* writing the frame, and acts on the returned kind:
+    ``"crash"`` (die after a durable append, before the ack), ``"torn"``
+    (die with half a frame on disk), or ``None``.
+    """
+    state = _JOURNAL_STATE
+    if state is None:
+        return None
+    state.task_index += 1
+    for index, spec in enumerate(state.plan.specs):
+        if spec.kind not in _JOURNAL_KINDS:
+            continue
+        if not state._may_fire(index, spec) or not spec.matches_task(state.task_index):
+            continue
+        state._mark(index)
+        return "crash" if spec.kind == "journal_crash" else "torn"
+    return None
 
 
 def _pipeline_hook(stage: str) -> None:

@@ -387,9 +387,22 @@ class SpecGateway:
             pass  # half-open sockets surface here; namespace cleanup below
         finally:
             self._connections.pop(number, None)
+            # An abortive disconnect (reset mid-read) can leave handler
+            # tasks still running; await them *before* touching the
+            # namespace, or a handler could resurrect a session the drop
+            # below already removed.  (A clean EOF already drained inside
+            # run(); gathering an empty set is free.)
+            if connection.pending:
+                await asyncio.gather(*connection.pending, return_exceptions=True)
+                connection.pending.clear()
             dropped = self.server.drop_sessions(connection.prefix)
             if dropped:
                 registry().counter("gateway.sessions_dropped", dropped)
+            detached = self.server.detach_sessions(connection.prefix)
+            if detached:
+                # Durable (journal-backed) sessions are retained for
+                # re-attach; only the connection's aliases go.
+                registry().counter("gateway.sessions_detached", detached)
             try:
                 writer.close()
             except (ConnectionError, OSError):
@@ -421,12 +434,15 @@ def serve_tcp(
     burst: Optional[float] = None,
     allow_shutdown: bool = True,
     batch_pool=None,
+    journal_store=None,
 ) -> int:
     """Blocking entry point of ``python -m repro serve --tcp HOST:PORT``.
 
     Prints one ``listening on HOST:PORT`` line to stderr once bound
     (port 0 picks a free port — harnesses parse this line), then serves
-    until SIGTERM/SIGINT or a client ``shutdown``.
+    until SIGTERM/SIGINT or a client ``shutdown``.  With *journal_store*
+    every journal in the store directory is recovered before the socket
+    binds, and clients get the ``attach`` durable-session op.
     """
     from .server import DEFAULT_MAX_REQUEST_BYTES
 
@@ -440,6 +456,7 @@ def serve_tcp(
         ),
         max_queue=max_queue,
         batch_pool=batch_pool,
+        journal_store=journal_store,
     )
     gateway = SpecGateway(
         server,
@@ -460,4 +477,8 @@ def serve_tcp(
         )
         return await gateway.run()
 
-    return asyncio.run(main())
+    try:
+        return asyncio.run(main())
+    finally:
+        if journal_store is not None:
+            journal_store.sync_all()

@@ -651,23 +651,58 @@ def run_worker(
             pass
 
 
+def reconnect_backoff_delay(
+    attempt: int,
+    base: float = 0.5,
+    cap: float = 30.0,
+    seed: int = 0,
+    key: str = "worker",
+) -> float:
+    """Seconds to sleep before reconnect *attempt* (1-based).
+
+    The same capped, seeded-jitter exponential shape the supervisor uses
+    for respawns (:func:`repro.service.supervision.backoff_delay`):
+    ``min(cap, base * 2**(attempt-1))`` stretched by up to 25% of
+    deterministic jitter keyed on ``(seed, key, attempt)``.  A down hub
+    costs a worker ``base`` seconds at first and ``~cap`` seconds at
+    steady state instead of a fixed-interval hot poll, the jitter
+    de-synchronises a fleet of workers all watching the same dead hub,
+    and the determinism means tests can assert the exact delay sequence.
+    """
+    from .supervision import SupervisionConfig, backoff_delay
+
+    config = SupervisionConfig(
+        backoff_base=base, backoff_factor=2.0, backoff_cap=cap,
+        jitter=0.25, seed=seed,
+    )
+    return backoff_delay(config, key, attempt)
+
+
 def run_worker_loop(
     host: str,
     port: int,
     name: Optional[str] = None,
     reconnect_delay: float = 0.5,
     max_reconnects: Optional[int] = None,
+    reconnect_cap: float = 30.0,
+    sleep=time.sleep,
 ) -> int:
     """`run_worker` wrapped in a reconnect loop (``worker --reconnect``).
 
-    Re-registers after hub restarts or dropped connections, with a fixed
-    delay between attempts; *max_reconnects* bounds the attempts (None =
-    keep trying until killed).  Note this cannot resurrect the *process*
-    — a ``crash`` fault's ``os._exit`` needs an external supervisor
+    Re-registers after hub restarts or dropped connections, backing off
+    exponentially (:func:`reconnect_backoff_delay`, base
+    *reconnect_delay*, cap *reconnect_cap*, jitter keyed on the worker
+    name) while the hub stays unreachable; a successful registration —
+    the worker served until the hub hung up cleanly — resets the
+    backoff, so a healthy hub restart is rejoined at *reconnect_delay*,
+    not at the cap.  *max_reconnects* bounds the attempts (None = keep
+    trying until killed).  Note this cannot resurrect the *process* — a
+    ``crash`` fault's ``os._exit`` needs an external supervisor
     (systemd, the CI soak harness, ...) to restart the worker, which
     then re-registers under the same name at the next spawn generation.
     """
     attempts = 0
+    failures = 0  # consecutive, resets on clean service
     code = 1
     while True:
         try:
@@ -675,7 +710,15 @@ def run_worker_loop(
         except OSError as error:
             logger.warning("worker connection failed: %s", error)
             code = 1
+        failures = 0 if code == 0 else failures + 1
         attempts += 1
         if max_reconnects is not None and attempts > max_reconnects:
             return code
-        time.sleep(reconnect_delay)
+        sleep(
+            reconnect_backoff_delay(
+                max(1, failures),
+                base=reconnect_delay,
+                cap=reconnect_cap,
+                key=name if name is not None else "worker",
+            )
+        )

@@ -20,7 +20,9 @@ from ..core.pipeline import ConsistencyReport, SpecCC
 
 
 def stats_to_dict(
-    tool: Optional[SpecCC] = None, pools: Optional[Sequence[dict]] = None
+    tool: Optional[SpecCC] = None,
+    pools: Optional[Sequence[dict]] = None,
+    journal: Optional[dict] = None,
 ) -> dict:
     """Cache and engine-work statistics in the shared report format.
 
@@ -39,6 +41,11 @@ def stats_to_dict(
     --stats`` and the serve ``stats`` op expose fault-tolerance state
     through the same document.
 
+    *journal* attaches a durable-session journal's counter row
+    (:meth:`repro.service.journal.JournalStore.stats` — appends, fsyncs,
+    compactions, replayed records, truncated tails) under ``"journal"``
+    when a serve loop runs with ``--journal``.
+
     When any latency histograms have accumulated (every finished span
     feeds one — see :mod:`repro.obs`), their p50/p90/p99 summaries ride
     along under ``"histograms"``.
@@ -52,6 +59,8 @@ def stats_to_dict(
 
         payload["pools"] = list(pools)
         payload["supervision"] = aggregate_stats(pools)
+    if journal is not None:
+        payload["journal"] = journal
     from ..obs.metrics import registry
 
     histograms = registry().histograms_summary()

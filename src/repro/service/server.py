@@ -160,17 +160,89 @@ class _Server:
         tool: Optional[SpecCC] = None,
         default_batch_backend: str = "thread",
         batch_pool=None,
+        journal_store=None,
     ) -> None:
         """*batch_pool* pins a specific :class:`~repro.service.pool.
         WorkerPool` for ``batch`` requests (the TCP gateway passes its
         remote-worker pool here); without one, ``backend="process"``
-        falls back to the shared registry pool."""
+        falls back to the shared registry pool.  *journal_store* (a
+        :class:`~repro.service.journal.JournalStore`) enables the
+        ``attach`` op: once attached to a durable session token, every
+        mutation is write-ahead journaled before it is acknowledged and
+        integer ``rid``\\ s are deduplicated for exactly-once retries."""
         self.tool = tool if tool is not None else SpecCC()
         self.session = SpecSession(self.tool)
         self.default_batch_backend = default_batch_backend
         self.batch_pool = batch_pool
+        self.journal_store = journal_store
+        #: The :class:`~repro.service.journal.DurableSession` this server
+        #: is attached to, or None for a plain in-memory session.
+        self.durable = None
         self.running = True
         self._started = time.monotonic()
+
+    # -------------------------------------------------------- durability
+    def adopt(self, durable) -> None:
+        """Bind this server to *durable* (its session becomes ours)."""
+        self.durable = durable
+        self.session = durable.session
+
+    @staticmethod
+    def attach_response(durable) -> dict:
+        """The ``attach`` handshake payload: everything a resuming
+        client needs to resynchronise — most importantly ``last_rid``,
+        the largest integer rid the journal has durably applied, which
+        tells the client whether its unacknowledged in-flight edit
+        landed before the crash (retry it either way: rids at or below
+        the watermark are deduplicated, not re-applied)."""
+        return {
+            "token": durable.token,
+            "size": len(durable.session),
+            "revision": durable.session.revision,
+            "last_rid": durable.last_rid,
+            "replayed_records": durable.replayed_records,
+        }
+
+    @staticmethod
+    def _journal_rid(request: dict):
+        """The request's rid, when it can participate in exactly-once
+        tracking (integers only — the protocol allows arbitrary rids for
+        correlation, but the dedupe watermark needs an order)."""
+        rid = request.get("rid")
+        return rid if isinstance(rid, int) and not isinstance(rid, bool) else None
+
+    def _duplicate(self, request: dict) -> Optional[dict]:
+        """The duplicate-ack for an already-journaled rid, or None.
+
+        A rid at or below the journal's watermark was durably applied
+        before a (possibly lost) acknowledgement: re-acknowledge without
+        re-applying.  Requires clients to send monotonically increasing
+        integer rids per durable session — the ``attach`` response's
+        ``last_rid`` is the resume point.
+        """
+        if self.durable is None:
+            return None
+        rid = self._journal_rid(request)
+        if rid is None or self.durable.last_rid is None or rid > self.durable.last_rid:
+            return None
+        self.durable.journal.store.record_duplicate()
+        return {
+            "size": len(self.session),
+            "revision": self.session.revision,
+            "duplicate": True,
+        }
+
+    def _journal(self, record: dict, request: dict) -> None:
+        """Write-ahead append *record* (a just-applied mutation) before
+        the acknowledgement leaves; advances the rid watermark."""
+        if self.durable is None:
+            return
+        rid = self._journal_rid(request)
+        if rid is not None:
+            record["rid"] = rid
+        self.durable.journal.append(record)
+        if rid is not None:
+            self.durable.last_rid = rid
 
     def handle(self, request: dict) -> dict:
         op = request.get("op")
@@ -202,29 +274,76 @@ class _Server:
             raise ValueError(f"missing field {key!r}")
         return request[key]
 
+    def _op_attach(self, request: dict) -> dict:
+        """Bind this server to a durable session token (see the journal
+        module): recover-or-create, and return the resume handshake."""
+        if self.journal_store is None:
+            raise ServiceError(
+                "durable sessions are not enabled (start serve with --journal DIR)"
+            )
+        token = str(self._require(request, "token"))
+        self.adopt(self.journal_store.attach(token, self.tool))
+        return self.attach_response(self.durable)
+
     def _op_add(self, request: dict) -> dict:
-        self.session.add(
-            str(self._require(request, "id")), str(self._require(request, "text"))
-        )
+        duplicate = self._duplicate(request)
+        if duplicate is not None:
+            return duplicate
+        identifier = str(self._require(request, "id"))
+        text = str(self._require(request, "text"))
+        self.session.add(identifier, text)
+        self._journal({"op": "add", "id": identifier, "text": text}, request)
         return {"size": len(self.session)}
 
     def _op_update(self, request: dict) -> dict:
-        self.session.update(
-            str(self._require(request, "id")), str(self._require(request, "text"))
-        )
+        duplicate = self._duplicate(request)
+        if duplicate is not None:
+            return duplicate
+        identifier = str(self._require(request, "id"))
+        text = str(self._require(request, "text"))
+        self.session.update(identifier, text)
+        self._journal({"op": "update", "id": identifier, "text": text}, request)
         return {"size": len(self.session)}
 
     def _op_remove(self, request: dict) -> dict:
-        self.session.remove(str(self._require(request, "id")))
+        duplicate = self._duplicate(request)
+        if duplicate is not None:
+            return duplicate
+        identifier = str(self._require(request, "id"))
+        self.session.remove(identifier)
+        self._journal({"op": "remove", "id": identifier}, request)
         return {"size": len(self.session)}
 
     def _op_load(self, request: dict) -> dict:
-        added = self.session.load_document(str(self._require(request, "document")))
+        duplicate = self._duplicate(request)
+        if duplicate is not None:
+            return duplicate
+        document = str(self._require(request, "document"))
+        added = self.session.load_document(document)
+        self._journal({"op": "load", "document": document}, request)
         return {"added": list(added), "size": len(self.session)}
 
     def _op_check(self, request: dict) -> dict:
         timings = bool(request.get("timings", True))
+        duplicate = self._duplicate(request)
+        if duplicate is not None:
+            # The check this rid named already ran (and was journaled);
+            # re-acknowledge with its report.  The original delta
+            # belonged to the lost acknowledgement and is not replayable
+            # in isolation, so the duplicate ack carries none.
+            last = self.session.last_report
+            duplicate.pop("size", None)
+            if last is not None:
+                duplicate["report"] = report_to_dict(last.report, timings=timings)
+                duplicate["revision"] = last.revision
+                duplicate["seconds"] = None
+            return duplicate
         session_report = self.session.check()
+        self._journal({"op": "check"}, request)
+        if self.durable is not None and self.durable.journal.should_compact():
+            # Compaction only at check boundaries: the session has no
+            # pending edits, so one snapshot record captures it exactly.
+            self.durable.journal.compact(self.session, self.durable.last_rid)
         return {
             "report": report_to_dict(session_report.report, timings=timings),
             "delta": _delta_to_dict(session_report),
@@ -287,7 +406,13 @@ class _Server:
         from .pool import shared_pool_stats
         from .reportjson import stats_to_dict
 
-        payload = stats_to_dict(self.tool, pools=shared_pool_stats())
+        payload = stats_to_dict(
+            self.tool,
+            pools=shared_pool_stats(),
+            journal=(
+                self.journal_store.stats() if self.journal_store is not None else None
+            ),
+        )
         payload["size"] = len(self.session)
         return payload
 
@@ -318,7 +443,13 @@ class _Server:
         return self._op_ping(request)
 
     def _op_reset(self, request: dict) -> dict:
+        duplicate = self._duplicate(request)
+        if duplicate is not None:
+            return duplicate
         self.session = SpecSession(self.tool)
+        if self.durable is not None:
+            self.durable.session = self.session
+            self._journal({"op": "reset"}, request)
         return {"size": 0}
 
     def _op_shutdown(self, request: dict) -> dict:
@@ -346,6 +477,8 @@ VOLATILE_RESPONSE_FIELDS = (
     "trace",
     "metrics",
     "histograms",
+    "journal",
+    "replayed_records",
 )
 VOLATILE_DELTA_FIELDS = (
     "cache_hits",
@@ -411,6 +544,7 @@ class AsyncSpecServer:
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
         max_queue: int = 64,
         batch_pool=None,
+        journal_store=None,
     ) -> None:
         """*max_sessions* bounds the number of concurrently held client
         sessions: each named session keeps a :class:`SpecSession` alive
@@ -424,6 +558,14 @@ class AsyncSpecServer:
         *max_queue* bounds how many requests may wait on one session's
         lock before new ones are rejected with ``overloaded`` — bounded
         backpressure instead of unbounded queue growth.
+
+        *journal_store* enables durable sessions: every journal found in
+        the store's directory is replayed eagerly here (startup, not
+        first-touch, so recovery cost is paid once and ``attach`` is
+        cheap), and the ``attach`` op binds client session names to
+        durable tokens.  Durable sessions survive :meth:`drop_sessions`
+        — a disconnecting TCP client only unbinds its *alias*
+        (:meth:`detach_sessions`); the journaled state stays attachable.
         """
         self.tool = tool if tool is not None else SpecCC()
         self.default_batch_backend = default_batch_backend
@@ -432,23 +574,36 @@ class AsyncSpecServer:
         self.max_request_bytes = max_request_bytes
         self.max_queue = max_queue
         self.batch_pool = batch_pool
+        self.journal_store = journal_store
         self._sessions: dict = {}
         self._locks: dict = {}
         self._queued: dict = {}  # session name -> requests waiting/running
+        self._durable: dict = {}  # token -> _Server (survives disconnects)
+        self._durable_locks: dict = {}  # token -> asyncio.Lock (lazy: see below)
+        self._aliases: dict = {}  # client session name -> durable token
         self.running = True
+        if journal_store is not None:
+            for token, durable in sorted(journal_store.recover(self.tool).items()):
+                self._adopt_durable(token, durable)
 
     @property
     def session_names(self) -> tuple:
         return tuple(self._sessions)
 
+    @property
+    def durable_tokens(self) -> tuple:
+        return tuple(sorted(self._durable))
+
     def drop_sessions(self, prefix: str) -> int:
-        """Discard every session whose name starts with *prefix*.
+        """Discard every ephemeral session whose name starts with *prefix*.
 
         The TCP gateway namespaces each connection's sessions under a
         per-connection prefix and drops the namespace when the
         connection closes — without this, every reconnecting client
-        would permanently consume ``max_sessions`` slots.  Returns the
-        number of sessions dropped.
+        would permanently consume ``max_sessions`` slots.  Durable
+        sessions are *not* dropped (only their aliases are, via
+        :meth:`detach_sessions` — surviving the disconnect is their
+        reason to exist).  Returns the number of sessions dropped.
         """
         names = [name for name in self._sessions if name.startswith(prefix)]
         for name in names:
@@ -457,10 +612,78 @@ class AsyncSpecServer:
             self._queued.pop(name, None)
         return len(names)
 
+    def detach_sessions(self, prefix: str) -> int:
+        """Unbind every durable-session alias starting with *prefix*.
+
+        The journaled sessions themselves are retained — a reconnecting
+        client re-``attach``\\ es its token and resumes.  Returns the
+        number of aliases unbound.
+        """
+        names = [name for name in self._aliases if name.startswith(prefix)]
+        for name in names:
+            self._aliases.pop(name, None)
+            self._queued.pop(name, None)
+        return len(names)
+
+    def _adopt_durable(self, token: str, durable):
+        """The dedicated :class:`_Server` bound to durable *token*."""
+        server = _Server(
+            self.tool,
+            default_batch_backend=self.default_batch_backend,
+            batch_pool=self.batch_pool,
+            journal_store=self.journal_store,
+        )
+        server.adopt(durable)
+        self._durable[token] = server
+        return server
+
+    def _durable_lock(self, token: str) -> asyncio.Lock:
+        # Lazily created because __init__ (which recovers durable
+        # sessions eagerly) may run outside any event loop, where
+        # asyncio.Lock() misbehaves on older Pythons.
+        lock = self._durable_locks.get(token)
+        if lock is None:
+            lock = asyncio.Lock()
+            self._durable_locks[token] = lock
+        return lock
+
+    def _attach(self, request: dict, name: str) -> dict:
+        """The ``attach`` op: bind session *name* to a durable token."""
+        if self.journal_store is None:
+            raise ServiceError(
+                "durable sessions are not enabled (start serve with --journal DIR)"
+            )
+        token = str(_Server._require(request, "token"))
+        from .journal import validate_token
+
+        validate_token(token)
+        server = self._durable.get(token)
+        if server is None:
+            if len(self._sessions) + len(self._durable) >= self.max_sessions:
+                raise ValueError(
+                    f"too many sessions (max {self.max_sessions}); "
+                    "reuse or reset an existing session"
+                )
+            server = self._adopt_durable(
+                token, self.journal_store.attach(token, self.tool)
+            )
+        self._aliases[name] = token
+        # Two clients may attach the same token (e.g. before and after a
+        # reconnect); the shared per-token lock keeps its requests
+        # strictly sequential either way.
+        self._durable_lock(token)
+        return _Server.attach_response(server.durable)
+
     def _session(self, name: str):
+        token = self._aliases.get(name)
+        if token is not None:
+            server = self._durable.get(token)
+            if server is not None:
+                return server, self._durable_lock(token)
+            self._aliases.pop(name, None)  # store was closed underneath
         server = self._sessions.get(name)
         if server is None:
-            if len(self._sessions) >= self.max_sessions:
+            if len(self._sessions) + len(self._durable) >= self.max_sessions:
                 raise ValueError(
                     f"too many sessions (max {self.max_sessions}); "
                     "reuse or reset an existing session"
@@ -490,6 +713,15 @@ class AsyncSpecServer:
                 # Rejected before _session(): invalid traffic must not
                 # allocate per-session state.
                 raise ValueError(f"unknown op {op!r}")
+            if op == "attach":
+                # Handled here, not in a per-session _Server: attaching
+                # binds the session *name* to a durable token, which is
+                # front-end state.  Fast (recovery already ran eagerly)
+                # and allocation-checked, so it runs inline.
+                response = {"ok": True, "op": op}
+                response.update(base)
+                response.update(self._attach(request, base["session"]))
+                return response
             server, lock = self._session(base["session"])
             # Backpressure: count waiters *before* queueing on the lock,
             # reject once the session's queue is full.  Rejection is an
@@ -555,7 +787,7 @@ class AsyncSpecServer:
             response.update(base)
             response.update(result)
             if op in ("stats", "ping", "health"):
-                response["sessions"] = len(self._sessions)
+                response["sessions"] = len(self._sessions) + len(self._durable)
             return response
         except Exception as error:  # noqa: BLE001 - the daemon must survive
             response = error_response(error)
@@ -653,6 +885,7 @@ def serve_async(
     request_timeout: Optional[float] = None,
     max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
     max_queue: int = 64,
+    journal_store=None,
 ) -> int:
     """Blocking entry point of the async front end (``serve --async``)."""
     stdin = stdin if stdin is not None else sys.stdin
@@ -662,8 +895,18 @@ def serve_async(
         request_timeout=request_timeout,
         max_request_bytes=max_request_bytes,
         max_queue=max_queue,
+        journal_store=journal_store,
     )
-    return asyncio.run(serve_async_loop(stdin, stdout, tool, server=server))
+    try:
+        return asyncio.run(serve_async_loop(stdin, stdout, tool, server=server))
+    finally:
+        if journal_store is not None:
+            journal_store.sync_all()
+
+
+class _DrainRequested(Exception):
+    """Raised by the sync serve signal handler while the loop is idle
+    (between requests): unwind to the drain path immediately."""
 
 
 def serve(
@@ -673,8 +916,11 @@ def serve(
     server: Optional[_Server] = None,
     request_timeout: Optional[float] = None,
     max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    journal_store=None,
+    attach_token: str = "default",
+    install_signal_handlers: bool = False,
 ) -> int:
-    """Run the JSON-lines loop until EOF or a ``shutdown`` request.
+    """Run the JSON-lines loop until EOF, ``shutdown``, or a drain signal.
 
     *request_timeout* bounds one request's wall-clock time: the handler
     runs on a dedicated worker thread and an expired deadline produces a
@@ -683,65 +929,116 @@ def serve(
     requests behind it queue rather than interleave, preserving the
     strictly sequential session semantics.)  *max_request_bytes* bounds
     one raw request line (``oversized`` error).
+
+    *journal_store* makes the (single) session durable: it is attached
+    to token *attach_token* up front, so every mutation is write-ahead
+    journaled and a restarted daemon resumes exactly where the previous
+    one crashed.
+
+    *install_signal_handlers* gives the sync loop the same graceful
+    drain the TCP gateway has: on SIGTERM/SIGINT an in-flight request is
+    finished and its response written, stdout and the journal are
+    flushed, and the loop returns 0.  Off by default — only the CLI
+    entry point (which owns the main thread) turns it on; in-process
+    callers and tests keep their signal dispositions.
     """
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
-    server = server if server is not None else _Server(tool)
+    if server is None:
+        server = _Server(tool, journal_store=journal_store)
+    if server.journal_store is not None and server.durable is None:
+        server.handle({"op": "attach", "token": attach_token})
     executor: Optional[ThreadPoolExecutor] = None
     if request_timeout is not None:
         executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="serve-handler"
         )
+    # Drain state shared with the signal handler: while a request is
+    # being handled the handler only *records* the wish (the request
+    # finishes and its response is flushed first); between requests it
+    # raises out of the blocking readline.
+    drain = {"requested": False, "busy": False}
+    restored: list = []
+    if install_signal_handlers:
+        import signal
+
+        def _drain_handler(signum, frame):  # noqa: ARG001 - signal ABI
+            drain["requested"] = True
+            if not drain["busy"]:
+                raise _DrainRequested()
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            restored.append((signum, signal.signal(signum, _drain_handler)))
     try:
-        for line in stdin:
-            if line_exceeds_bytes(line, max_request_bytes):
-                response = error_response(
-                    ServiceError(
-                        f"request line exceeds {max_request_bytes} bytes",
-                        code="oversized",
-                    )
-                )
-                stdout.write(json.dumps(response, sort_keys=True) + "\n")
-                stdout.flush()
-                continue
-            line = line.strip()
+        while True:
+            line = stdin.readline()
             if not line:
-                continue
-            try:
-                request = json.loads(line)
-            except Exception as error:  # noqa: BLE001 - daemon survives
-                response = {
-                    "ok": False,
-                    "error": f"malformed JSON: {error}",
-                    "code": "bad_json",
-                }
-                stdout.write(json.dumps(response, sort_keys=True) + "\n")
-                stdout.flush()
-                continue
-            try:
-                if not isinstance(request, dict):
-                    raise ValueError("request must be a JSON object")
-                response = {"ok": True, "op": request.get("op")}
-                if executor is not None:
-                    result = executor.submit(server.handle, request).result(
-                        timeout=request_timeout
-                    )
-                else:
-                    result = server.handle(request)
-                response.update(result)
-            except FuturesTimeoutError:
-                response = error_response(
-                    ServiceError(
-                        f"request exceeded {request_timeout}s", code="timeout"
-                    )
-                )
-            except Exception as error:  # noqa: BLE001 - daemon survives
-                response = error_response(error)
-            stdout.write(json.dumps(response, sort_keys=True) + "\n")
-            stdout.flush()
-            if not server.running:
                 break
+            drain["busy"] = True
+            try:
+                response: Optional[dict]
+                if line_exceeds_bytes(line, max_request_bytes):
+                    response = error_response(
+                        ServiceError(
+                            f"request line exceeds {max_request_bytes} bytes",
+                            code="oversized",
+                        )
+                    )
+                elif not line.strip():
+                    response = None
+                else:
+                    try:
+                        request = json.loads(line.strip())
+                    except Exception as error:  # noqa: BLE001 - daemon survives
+                        response = {
+                            "ok": False,
+                            "error": f"malformed JSON: {error}",
+                            "code": "bad_json",
+                        }
+                    else:
+                        try:
+                            if not isinstance(request, dict):
+                                raise ValueError("request must be a JSON object")
+                            response = {"ok": True, "op": request.get("op")}
+                            if executor is not None:
+                                result = executor.submit(
+                                    server.handle, request
+                                ).result(timeout=request_timeout)
+                            else:
+                                result = server.handle(request)
+                            response.update(result)
+                        except FuturesTimeoutError:
+                            response = error_response(
+                                ServiceError(
+                                    f"request exceeded {request_timeout}s",
+                                    code="timeout",
+                                )
+                            )
+                        except Exception as error:  # noqa: BLE001
+                            response = error_response(error)
+                if response is not None:
+                    stdout.write(json.dumps(response, sort_keys=True) + "\n")
+                    stdout.flush()
+            finally:
+                drain["busy"] = False
+            if drain["requested"] or not server.running:
+                break
+    except _DrainRequested:
+        pass
     finally:
+        for signum, previous in restored:
+            import signal
+
+            signal.signal(signum, previous)
         if executor is not None:
             executor.shutdown(wait=False)
+        # Drain: everything acknowledged is on its way to the client and
+        # everything applied is on its way to the disk.
+        try:
+            stdout.flush()
+        except (OSError, ValueError):
+            pass
+        store = server.journal_store if server is not None else journal_store
+        if store is not None:
+            store.sync_all()
     return 0

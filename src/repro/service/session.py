@@ -208,6 +208,48 @@ class SpecSession:
             number += 1
         return tuple(added)
 
+    # ------------------------------------------------------- durability
+    def snapshot_state(self) -> dict:
+        """The mutation-relevant state a journal snapshot persists.
+
+        Deliberately minimal: the document (ordered ``[id, sentence]``
+        pairs), the revision counter, and any identifiers edited since
+        the last check.  Everything else a session carries — the delta
+        baseline (``_seen``/``_verdicts``), the last report, the
+        translation cache — is *derived* state that
+        :meth:`restore_snapshot` rebuilds deterministically by re-running
+        one check, so it never needs to hit the disk.
+        """
+        return {
+            "requirements": [
+                [identifier, self._sentences[identifier]]
+                for identifier in self._order
+            ],
+            "revision": self._revision,
+            "edited": sorted(self._edited),
+        }
+
+    def restore_snapshot(self, state: dict) -> None:
+        """Rebuild this (fresh) session from a :meth:`snapshot_state` dict.
+
+        The document is re-added in order; if the snapshot had completed
+        at least one check, one rebuild check re-derives the delta
+        baseline — analysis is deterministic, so ``_seen``/``_verdicts``
+        and the last report body come out identical to the state the
+        snapshotted session carried — and the revision counter is then
+        restored so subsequent checks continue the original numbering.
+        """
+        if self._order or self._revision:
+            raise ValueError("snapshots restore only into fresh sessions")
+        for identifier, sentence in state["requirements"]:
+            self.add(str(identifier), str(sentence))
+        revision = int(state["revision"])
+        if revision > 0:
+            rebuilt = self.check()
+            self._revision = revision
+            rebuilt.revision = revision
+        self._edited = set(str(identifier) for identifier in state.get("edited", ()))
+
     def stats(self) -> dict:
         """Lightweight health row: size, revision, pending edits, age.
 

@@ -350,3 +350,125 @@ class TestGateway:
             for entry in response["results"]
         ]
         assert got == sequential
+
+
+def _gateway_counters() -> dict:
+    from repro.obs.metrics import registry
+
+    counters = registry().snapshot(full=False)["counters"]
+    return {
+        "dropped": counters.get("gateway.sessions_dropped", 0),
+        "detached": counters.get("gateway.sessions_detached", 0),
+    }
+
+
+class TestInFlightDisconnect:
+    """Abortive connection drops racing their own in-flight handlers.
+
+    A client that dies mid-request leaves its handler task running when
+    the connection's read loop errors out; the gateway must finish that
+    handler *before* touching the session namespace — otherwise the
+    handler can resurrect a session the teardown already removed and the
+    slot leaks forever.  The counters make the outcome exact: ephemeral
+    namespaces are dropped, journal-backed ones only detached.
+    """
+
+    async def _settle(self, gateway, server) -> None:
+        for _ in range(400):  # bounded: ~20s worst case
+            if gateway.stats()["connections_open"] == 0 and not any(
+                name.startswith("conn") for name in server.session_names
+            ):
+                return
+            await asyncio.sleep(0.05)
+        raise AssertionError("gateway never finished tearing the connection down")
+
+    def test_abortive_drop_with_inflight_request_cleans_namespace(self):
+        async def drive():
+            server = AsyncSpecServer()
+            before = _gateway_counters()
+            async with _Running(SpecGateway(server)) as gateway:
+                client = await _Client.connect(gateway)
+                added = await client.request(
+                    {"op": "add", "id": "R1",
+                     "text": "If the sensor is active, the valve is opened."}
+                )
+                names_live = server.session_names
+                # Fire a check and kill the socket without reading the
+                # response: the handler is now in flight with no client.
+                await client.send_raw(
+                    json.dumps({"op": "check", "timings": False}).encode("utf-8")
+                    + b"\n"
+                )
+                client.writer.transport.abort()
+                await self._settle(gateway, server)
+                return before, _gateway_counters(), added, names_live, \
+                    server.session_names
+
+        before, after, added, names_live, names_after = asyncio.run(drive())
+        assert added["ok"] is True
+        assert names_live == ("conn1/default",)
+        assert names_after == ()  # the in-flight check did not resurrect it
+        assert after["dropped"] - before["dropped"] == 1
+        assert after["detached"] - before["detached"] == 0
+
+    def test_abortive_drop_retains_durable_session_for_resume(self, tmp_path):
+        from repro.service.journal import JournalStore
+
+        store = JournalStore(tmp_path, fsync="never")
+
+        async def drive():
+            server = AsyncSpecServer(journal_store=store)
+            before = _gateway_counters()
+            async with _Running(SpecGateway(server)) as gateway:
+                first = await _Client.connect(gateway)
+                attach1 = await first.request({"op": "attach", "token": "docB"})
+                await first.request(
+                    {"op": "add", "id": "R1", "rid": 1,
+                     "text": "If the sensor is active, the valve is opened."}
+                )
+                # The edit whose acknowledgement the client never sees:
+                # written, then the socket dies.
+                await first.send_raw(
+                    json.dumps(
+                        {"op": "update", "id": "R1", "rid": 2,
+                         "text": "If the sensor is active, the valve is not opened."}
+                    ).encode("utf-8")
+                    + b"\n"
+                )
+                first.writer.transport.abort()
+                await self._settle(gateway, server)
+                mid = _gateway_counters()
+                tokens = server.durable_tokens
+
+                # Reconnect-and-resume: attach the same token, learn the
+                # watermark, retry the unacknowledged edit.
+                second = await _Client.connect(gateway)
+                attach2 = await second.request({"op": "attach", "token": "docB"})
+                retry = await second.request(
+                    {"op": "update", "id": "R1", "rid": 2,
+                     "text": "If the sensor is active, the valve is not opened."}
+                )
+                checked = await second.request(
+                    {"op": "check", "timings": False, "rid": 3}
+                )
+                await second.close()
+                return before, mid, attach1, tokens, attach2, retry, checked
+
+        try:
+            before, mid, attach1, tokens, attach2, retry, checked = asyncio.run(
+                drive()
+            )
+        finally:
+            store.close()
+        assert attach1["ok"] is True and attach1["last_rid"] is None
+        # The namespace went, the durable session stayed: exact counters.
+        assert mid["dropped"] - before["dropped"] == 0
+        assert mid["detached"] - before["detached"] == 1
+        assert tokens == ("docB",)
+        # The in-flight edit WAS applied and journaled before the drop —
+        # attach says so, and the retry dedupes instead of re-applying.
+        assert attach2["last_rid"] == 2
+        assert attach2["size"] == 1
+        assert retry["duplicate"] is True
+        assert checked["ok"] is True and checked["revision"] == 1
+        assert store.counters()["duplicates"] == 1

@@ -302,3 +302,74 @@ class TestRemoteWorkers:
             hub.close()
             for proc in procs.values():
                 reap(proc)
+
+
+class TestReconnectBackoff:
+    """``worker --reconnect`` retry pacing (no sockets involved)."""
+
+    def test_delay_sequence_is_capped_seeded_exponential(self, monkeypatch):
+        from repro.service import remote
+        from repro.service.remote import (
+            reconnect_backoff_delay,
+            run_worker_loop,
+        )
+
+        monkeypatch.setattr(
+            remote, "run_worker",
+            lambda host, port, name=None: (_ for _ in ()).throw(
+                OSError("connection refused")
+            ),
+        )
+        slept = []
+        code = run_worker_loop(
+            "127.0.0.1", 1, name="w1", reconnect_delay=0.5,
+            max_reconnects=7, reconnect_cap=4.0, sleep=slept.append,
+        )
+        assert code == 1
+        # Every consecutive failure climbs the same capped, seeded-jitter
+        # exponential curve the supervisor uses for respawns — the exact
+        # sequence, not just its shape.
+        expected = [
+            reconnect_backoff_delay(k, base=0.5, cap=4.0, key="w1")
+            for k in range(1, 8)
+        ]
+        assert slept == expected
+        # Base, doubling, and cap are all visible in the raw values: the
+        # jitter stretches by at most 25%, so consecutive uncapped delays
+        # still at least ~1.6x each other, and the tail stops growing.
+        assert 0.5 <= slept[0] <= 0.5 * 1.25
+        for earlier, later in zip(slept[:3], slept[1:4]):
+            assert later > earlier * 1.5
+        assert all(4.0 <= delay <= 4.0 * 1.25 for delay in slept[4:])
+
+    def test_clean_service_resets_the_backoff(self, monkeypatch):
+        from repro.service import remote
+        from repro.service.remote import (
+            reconnect_backoff_delay,
+            run_worker_loop,
+        )
+
+        # Two hub outages with a healthy stretch between them: the loop
+        # must climb, reset on the clean hang-up, and climb again from
+        # the base rather than from where the first outage left off.
+        codes = iter([1, 1, 1, 0, 1, 1])
+
+        def fake_run_worker(host, port, name=None):
+            return next(codes)
+
+        monkeypatch.setattr(remote, "run_worker", fake_run_worker)
+        slept = []
+        run_worker_loop(
+            "127.0.0.1", 1, name="w2", reconnect_delay=0.25,
+            max_reconnects=5, reconnect_cap=8.0, sleep=slept.append,
+        )
+        delay = lambda k: reconnect_backoff_delay(k, base=0.25, cap=8.0, key="w2")  # noqa: E731
+        # (The final attempt exhausts max_reconnects and returns without
+        # sleeping, so the second climb shows only its first step.)
+        assert slept == [delay(1), delay(2), delay(3), delay(1), delay(1)]
+
+    def test_jitter_is_deterministic_but_desynchronised(self):
+        from repro.service.remote import reconnect_backoff_delay
+
+        assert reconnect_backoff_delay(3, key="a") == reconnect_backoff_delay(3, key="a")
+        assert reconnect_backoff_delay(3, key="a") != reconnect_backoff_delay(3, key="b")
