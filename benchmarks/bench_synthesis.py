@@ -14,6 +14,18 @@ them with correctness cross-checks:
   partial engine's work no longer depends on the number of don't-care
   outputs, plus byte-identical-strategy equivalence checks on a spec
   portfolio.
+* **incremental_bounds**: bounded synthesis over a growing 1→N state
+  ladder, one persistent ``IncrementalBoundedSynthesizer``
+  (``encoding="incremental"``) vs a from-scratch encoding per bound
+  (``encoding="fresh"``) on realizable and unrealizable specs.  Verdict
+  ladders must agree between the encodings (and with the committed
+  goldens), extracted machines must be byte-identical, and the
+  incremental path must pay at least 2x fewer SAT conflicts in
+  aggregate.
+* **game_early_abort**: on-the-fly attractor solving
+  (``solving="onthefly"``) vs full exploration plus the post-hoc
+  fixpoint (``solving="offline"``) on games that are losing at the
+  given bound — the early abort must visit strictly fewer positions.
 * **case_studies**: end-to-end verdicts (and engine-work counters) on the
   paper's three case studies, asserted identical to the committed
   seed-goldens in ``benchmarks/baseline_synthesis.json``.
@@ -49,9 +61,15 @@ from repro.casestudies import (  # noqa: E402
 )
 from repro.logic import parse  # noqa: E402
 from repro.sat import CDCLSolver, CNF  # noqa: E402
-from repro.synthesis import SynthesisLimits, solve_safety_game, synthesis_stats  # noqa: E402
+from repro.synthesis import (  # noqa: E402
+    IncrementalBoundedSynthesizer,
+    SynthesisLimits,
+    solve_safety_game,
+    synthesis_stats,
+)
 
-SCHEMA = "repro-bench-synthesis/1"
+SCHEMA = "repro-bench-synthesis/2"
+BASELINE_SCHEMA = "repro-bench-synthesis-baseline/2"
 BASELINE_PATH = REPO_ROOT / "benchmarks" / "baseline_synthesis.json"
 
 
@@ -217,6 +235,160 @@ def bench_safety_game(quick: bool) -> Dict[str, object]:
     }
 
 
+# ------------------------------------------------------- incremental bounds
+# Bound-ladder portfolio: realizable specs that become winnable partway up
+# the ladder (so the incremental solver re-solves a grown encoding) plus an
+# unrealizable spec (UNSAT at every bound, the conflict-heavy case where
+# carried learnt clauses pay the most).
+LADDER_SPECS = [
+    ("xor-next", "G (X g <-> (a || b))", ["a", "b"], ["g"]),
+    ("and-next", "G (X g <-> (a && b))", ["a", "b"], ["g"]),
+    ("delayed-grant", "G (r -> X (g || X g)) && G (!r -> X !g)", ["r"], ["g"]),
+    ("spaced-grant", "G (r -> (g || X g || X X g)) && G !(g && X g)", ["r"], ["g"]),
+    (
+        "arbiter",
+        "G (r1 -> F g1) && G (r2 -> F g2) && G !(g1 && g2)",
+        ["r1", "r2"],
+        ["g1", "g2"],
+    ),
+    ("unsat", "F g && G !g", [], ["g"]),
+]
+LADDER_MAX_STATES = 4
+QUICK_LADDER_NAMES = {"xor-next", "delayed-grant", "unsat"}
+
+
+def ladder_specs(quick: bool):
+    if quick:
+        return [row for row in LADDER_SPECS if row[0] in QUICK_LADDER_NAMES]
+    return LADDER_SPECS
+
+
+def bench_incremental_bounds(quick: bool) -> Dict[str, object]:
+    specs: Dict[str, object] = {}
+    aggregate = {"incremental": 0, "fresh": 0}
+    machines_identical = True
+    for name, text, inputs, outputs in ladder_specs(quick):
+        spec = parse(text)
+        synths = {
+            encoding: IncrementalBoundedSynthesizer.for_system(
+                spec, inputs, outputs, encoding=encoding
+            )
+            for encoding in ("incremental", "fresh")
+        }
+        conflicts = {"incremental": 0, "fresh": 0}
+        seconds = {"incremental": 0.0, "fresh": 0.0}
+        verdicts: List[bool] = []
+        for num_states in range(1, LADDER_MAX_STATES + 1):
+            results = {}
+            for encoding, synth in synths.items():
+                start = time.perf_counter()
+                results[encoding] = synth.solve(num_states=num_states)
+                seconds[encoding] += time.perf_counter() - start
+                conflicts[encoding] += results[encoding].solver_stats["conflicts"]
+            assert (
+                results["incremental"].realizable == results["fresh"].realizable
+            ), (name, num_states)
+            verdicts.append(results["incremental"].realizable)
+            if results["incremental"].realizable:
+                inc, fresh = results["incremental"].machine, results["fresh"].machine
+                same = (
+                    inc.transitions == fresh.transitions
+                    and inc.describe() == fresh.describe()
+                )
+                assert same, (name, num_states)
+                machines_identical = machines_identical and same
+        for encoding in aggregate:
+            aggregate[encoding] += conflicts[encoding]
+        ratio = conflicts["fresh"] / max(1, conflicts["incremental"])
+        specs[name] = {
+            "verdicts": verdicts,
+            "incremental_conflicts": conflicts["incremental"],
+            "fresh_conflicts": conflicts["fresh"],
+            "conflict_ratio": round(ratio, 2),
+            "incremental_seconds": round(seconds["incremental"], 4),
+            "fresh_seconds": round(seconds["fresh"], 4),
+        }
+    aggregate_ratio = aggregate["fresh"] / max(1, aggregate["incremental"])
+    return {
+        "max_states": LADDER_MAX_STATES,
+        "specs": specs,
+        "aggregate_incremental_conflicts": aggregate["incremental"],
+        "aggregate_fresh_conflicts": aggregate["fresh"],
+        "conflict_ratio": round(aggregate_ratio, 2),
+        "incremental_wins": aggregate_ratio >= 2.0,
+        "machines_identical": machines_identical,
+    }
+
+
+# ------------------------------------------------------------- early abort
+# Games that are losing at the stated bound: the on-the-fly attractor must
+# abort before expanding the whole arena, so it explores strictly fewer
+# positions than the offline reference (which always builds the full graph).
+EARLY_ABORT_SPECS = [
+    ("delayed-obligation-b1", "G (r -> X X X X b)", ["r"], ["b"], 1),
+    ("delayed-obligation-b3", "G (r -> X X X X b)", ["r"], ["b"], 3),
+    (
+        "progress-conflict-b3",
+        "G (r -> F g) && G (c -> !g)",
+        ["r", "c"],
+        ["g"],
+        3,
+    ),
+    (
+        "chain-echo-b2",
+        "G (a -> X (b2 && X (c2 -> X g))) && G (g <-> X X a)",
+        ["a", "c2"],
+        ["b2", "g"],
+        2,
+    ),
+    (
+        "arbiter-starved-b2",
+        "G (r1 -> F g1) && G (r2 -> F g2) && G !(g1 && g2) "
+        "&& G (r1 && r2 -> X !g1)",
+        ["r1", "r2"],
+        ["g1", "g2"],
+        2,
+    ),
+]
+
+
+def bench_game_early_abort(quick: bool) -> Dict[str, object]:
+    rows = []
+    all_fewer = True
+    for name, text, inputs, outputs, bound in (
+        EARLY_ABORT_SPECS[:2] if quick else EARLY_ABORT_SPECS
+    ):
+        spec = parse(text)
+        results = {}
+        seconds = {}
+        for solving in ("onthefly", "offline"):
+            start = time.perf_counter()
+            results[solving] = solve_safety_game(
+                spec, inputs, outputs, bound=bound, solving=solving
+            )
+            seconds[solving] = time.perf_counter() - start
+        onthefly, offline = results["onthefly"], results["offline"]
+        assert onthefly.realizable == offline.realizable, name
+        assert not onthefly.realizable, (name, "expected losing at this bound")
+        fewer = onthefly.positions_explored < offline.positions_explored
+        all_fewer = all_fewer and fewer
+        rows.append(
+            {
+                "spec": name,
+                "bound": bound,
+                "onthefly_positions": onthefly.positions_explored,
+                "offline_positions": offline.positions_explored,
+                "onthefly_letters": onthefly.stats["letters_enumerated"],
+                "offline_letters": offline.stats["letters_enumerated"],
+                "positions_pruned": onthefly.stats["positions_pruned"],
+                "onthefly_seconds": round(seconds["onthefly"], 5),
+                "offline_seconds": round(seconds["offline"], 5),
+                "fewer_positions": fewer,
+            }
+        )
+    return {"games": rows, "early_abort_wins": all_fewer}
+
+
 # ------------------------------------------------------------ case studies
 def case_study_workloads(quick: bool) -> List[Tuple[str, List[Tuple[str, str]]]]:
     workloads = [("cara-mode-switching", list(MODE_SWITCHING_REQUIREMENTS))]
@@ -265,27 +437,47 @@ def bench_case_studies(quick: bool) -> Dict[str, object]:
     return {"workloads": workloads, "engines_exercised": engines_exercised}
 
 
-def compare_to_baseline(case_studies: Dict[str, object]) -> Dict[str, object]:
+def compare_to_baseline(
+    case_studies: Dict[str, object], incremental_bounds: Dict[str, object]
+) -> Dict[str, object]:
     if not BASELINE_PATH.exists():
-        return {"available": False, "verdicts_match_baseline": False}
-    baseline = json.loads(BASELINE_PATH.read_text())["verdicts"]
+        return {
+            "available": False,
+            "verdicts_match_baseline": False,
+            "ladders_match_baseline": False,
+        }
+    baseline = json.loads(BASELINE_PATH.read_text())
+    verdicts = baseline["verdicts"]
     workloads = case_studies["workloads"]
     mismatches = {
-        name: {"got": data["verdict"], "expected": baseline[name]}
+        name: {"got": data["verdict"], "expected": verdicts[name]}
         for name, data in workloads.items()
-        if name in baseline and data["verdict"] != baseline[name]
+        if name in verdicts and data["verdict"] != verdicts[name]
     }
-    missing = [name for name in workloads if name not in baseline]
+    missing = [name for name in workloads if name not in verdicts]
+    ladders = baseline.get("ladders", {})
+    ladder_mismatches = {
+        name: {"got": data["verdicts"], "expected": ladders[name]}
+        for name, data in incremental_bounds["specs"].items()
+        if name in ladders and data["verdicts"] != ladders[name]
+    }
+    ladder_missing = [
+        name for name in incremental_bounds["specs"] if name not in ladders
+    ]
     return {
         "available": True,
         "verdicts_match_baseline": not mismatches and not missing,
         "mismatches": mismatches,
         "unknown_to_baseline": missing,
+        "ladders_match_baseline": not ladder_mismatches and not ladder_missing,
+        "ladder_mismatches": ladder_mismatches,
+        "ladders_unknown_to_baseline": ladder_missing,
     }
 
 
 def build_report(quick: bool) -> Dict:
     case_studies = bench_case_studies(quick)
+    incremental_bounds = bench_incremental_bounds(quick)
     return {
         "schema": SCHEMA,
         "quick": quick,
@@ -293,8 +485,10 @@ def build_report(quick: bool) -> Dict:
         "platform": platform.platform(),
         "propagation": bench_propagation(quick),
         "safety_game": bench_safety_game(quick),
+        "incremental_bounds": incremental_bounds,
+        "game_early_abort": bench_game_early_abort(quick),
         "case_studies": case_studies,
-        "baseline": compare_to_baseline(case_studies),
+        "baseline": compare_to_baseline(case_studies, incremental_bounds),
     }
 
 
@@ -317,16 +511,22 @@ def main(argv: List[str] | None = None) -> int:
     report = build_report(quick=args.quick)
     if args.write_baseline:
         baseline = {
-            "schema": "repro-bench-synthesis-baseline/1",
+            "schema": BASELINE_SCHEMA,
             "verdicts": {
                 name: data["verdict"]
                 for name, data in report["case_studies"]["workloads"].items()
+            },
+            "ladders": {
+                name: data["verdicts"]
+                for name, data in report["incremental_bounds"]["specs"].items()
             },
         }
         BASELINE_PATH.write_text(
             json.dumps(baseline, indent=2, sort_keys=True) + "\n"
         )
-        report["baseline"] = compare_to_baseline(report["case_studies"])
+        report["baseline"] = compare_to_baseline(
+            report["case_studies"], report["incremental_bounds"]
+        )
     Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
     propagation = report["propagation"]
@@ -351,6 +551,28 @@ def main(argv: List[str] | None = None) -> int:
             f"  +{row['extra_outputs']} outputs: partial {row['partial_letters']:>6} letters "
             f"concrete {row['concrete_letters']:>8} letters"
         )
+    bounds = report["incremental_bounds"]
+    print(
+        f"incremental bounds: {bounds['aggregate_fresh_conflicts']} fresh vs "
+        f"{bounds['aggregate_incremental_conflicts']} incremental conflicts "
+        f"({bounds['conflict_ratio']}x, incremental wins: "
+        f"{bounds['incremental_wins']}, machines identical: "
+        f"{bounds['machines_identical']})"
+    )
+    for name, data in sorted(bounds["specs"].items()):
+        print(
+            f"  {name:24} incremental {data['incremental_conflicts']:>6} "
+            f"fresh {data['fresh_conflicts']:>6} conflicts "
+            f"ratio {data['conflict_ratio']:>6}x"
+        )
+    abort = report["game_early_abort"]
+    print(f"game early abort: strictly fewer positions: {abort['early_abort_wins']}")
+    for row in abort["games"]:
+        print(
+            f"  {row['spec']:24} onthefly {row['onthefly_positions']:>5} "
+            f"offline {row['offline_positions']:>5} positions "
+            f"(pruned {row['positions_pruned']})"
+        )
     for name, data in sorted(report["case_studies"]["workloads"].items()):
         print(
             f"case {name:28} {data['verdict']:>12} {data['seconds']:>7.3f}s "
@@ -360,7 +582,9 @@ def main(argv: List[str] | None = None) -> int:
     print(
         f"engines exercised: {report['case_studies']['engines_exercised']}, "
         f"verdicts match baseline: "
-        f"{report['baseline']['verdicts_match_baseline']}"
+        f"{report['baseline']['verdicts_match_baseline']}, "
+        f"ladders match baseline: "
+        f"{report['baseline']['ladders_match_baseline']}"
     )
     print(f"wrote {args.output}")
     return 0

@@ -184,7 +184,10 @@ class SpecCC:
         graph, reset by :meth:`clear_caches`), the formula→automaton
         cache size, the live interned-node count and the
         synthesis-engine work counters (SAT propagations/conflicts/
-        restarts/clause visits, safety-game positions/letter updates),
+        restarts/clause visits plus the incremental-solver reuse pair
+        ``sat_incremental_solves``/``sat_learnt_carried``, safety-game
+        positions/letter updates plus ``game_positions_pruned`` from the
+        on-the-fly early abort),
         so sessions, benchmarks and tests can assert reuse and engine
         work instead of guessing from timings.  The returned value is
         plain picklable data — worker-pool processes ship it across the

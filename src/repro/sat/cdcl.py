@@ -15,7 +15,18 @@ bit-blasting"):
   ``reduce_interval`` conflicts the learnt DB is halved, keeping binary
   clauses, "glue" clauses with LBD <= 2 and clauses locked as reasons),
 * incremental solving under assumptions with implication-graph failed
-  assumption cores.
+  assumption cores,
+* MiniSat-style solver reuse: :meth:`CDCLSolver.add_clause` is valid
+  *between* :meth:`CDCLSolver.solve` calls (the solver returns to
+  decision level 0 after every answer, so new clauses are simplified
+  against the permanent root-level trail and watched correctly), and
+  learnt clauses, VSIDS activity and saved phases all survive into the
+  next call.  Callers gate constraints that must be retractable behind
+  activation literals passed as assumptions — adding the unit clause
+  ``[-activation]`` later retires the whole group at root level.  The
+  ``incremental`` block of :meth:`CDCLSolver.stats` counts reuse:
+  solve calls, clauses added after the first answer, and learnt clauses
+  carried into subsequent calls.
 
 The solver is deterministic: identical inputs yield identical models, which
 keeps the benchmark tables and tests reproducible.
@@ -138,6 +149,12 @@ class CDCLSolver:
         self.lbd: Dict[int, int] = {}
         self.learnt_dropped = 0
         self.next_reduce = reduce_interval
+        # Incremental-reuse counters: solve() calls, clauses added after
+        # the first answer, and learnt clauses alive at the start of each
+        # subsequent call (the work a from-scratch solver would redo).
+        self.solves = 0
+        self.clauses_added_incremental = 0
+        self.learnt_carried = 0
         for clause in cnf.clauses:
             self.add_clause(clause)
         self.heap = [(0.0, var) for var in range(1, self.num_vars + 1)]
@@ -145,7 +162,18 @@ class CDCLSolver:
 
     # ------------------------------------------------------------------ API
     def add_clause(self, lits: Iterable[Lit]) -> None:
-        """Add a clause at decision level 0."""
+        """Add a clause at decision level 0.
+
+        Safe between :meth:`solve` calls: every answer leaves the solver
+        back at level 0, so the clause is simplified against the
+        permanent root trail only (dropped literals are root-falsified
+        facts, which can never be unassigned again), watchers are
+        attached to unassigned literals, and a clause that is unit under
+        the root trail is propagated immediately — conflicts here make
+        the instance permanently unsatisfiable (``ok = False``).
+        """
+        if self.solves:
+            self.clauses_added_incremental += 1
         if not self.ok:
             return
         seen: Set[Lit] = set()
@@ -175,13 +203,16 @@ class CDCLSolver:
             return
         self._attach(clause)
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, object]:
         """Work counters since construction.
 
         ``clause_visits`` counts how many times a clause body was actually
         scanned during propagation — the quantity the two-watched-literal
         scheme exists to shrink.  Blocker hits and satisfied-watch
         short-circuits do not dereference the clause and are not counted.
+        The nested ``incremental`` block counts solver reuse: total
+        :meth:`solve` calls, clauses added after the first answer, and
+        learnt clauses carried into subsequent calls.
         """
         return {
             "propagations": self.propagations,
@@ -194,6 +225,11 @@ class CDCLSolver:
             "learnt_dropped": self.learnt_dropped,
             "clauses": sum(1 for clause in self.clauses if clause is not None),
             "vars": self.num_vars,
+            "incremental": {
+                "solves": self.solves,
+                "clauses_added": self.clauses_added_incremental,
+                "learnt_carried": self.learnt_carried,
+            },
         }
 
     def solve(self, assumptions: Sequence[Lit] = ()) -> SatResult:
@@ -218,6 +254,9 @@ class CDCLSolver:
             return result
 
     def _solve(self, assumptions: Sequence[Lit] = ()) -> SatResult:
+        self.solves += 1
+        if self.solves > 1:
+            self.learnt_carried += len(self.learnt)
         if not self.ok:
             return SatResult(False, failed_assumptions=[], conflicts=self.conflicts)
         self._backtrack(0)

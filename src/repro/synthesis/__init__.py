@@ -8,6 +8,7 @@ localization.
 
 from .bounded import (
     BoundedSynthesisResult,
+    IncrementalBoundedSynthesizer,
     synthesize,
     synthesize_environment,
 )
@@ -23,7 +24,7 @@ from .realizability import (
     check_realizability,
     synthesis_stats,
 )
-from .safety_game import SafetyGameResult, StateSpaceLimit
+from .safety_game import SafetyGameResult, StateSpaceLimit, solve_automaton
 from .safety_game import solve as solve_safety_game
 from .verify import satisfies_specification, violation_witness
 
@@ -32,6 +33,7 @@ __all__ = [
     "Component",
     "ComponentResult",
     "Engine",
+    "IncrementalBoundedSynthesizer",
     "Letter",
     "LocalizationResult",
     "MealyMachine",
@@ -46,6 +48,7 @@ __all__ = [
     "default_checker",
     "localize",
     "satisfies_specification",
+    "solve_automaton",
     "solve_safety_game",
     "synthesis_stats",
     "synthesize",

@@ -22,7 +22,7 @@ from ..obs.trace import span as _obs_span
 from ..automata.ltlsat import satisfiable
 from ..logic.ast import Formula, conj
 from ..logic.semantics import LassoWord
-from .bounded import synthesize, synthesize_environment
+from .bounded import IncrementalBoundedSynthesizer
 from .mealy import MealyMachine
 from .modular import Component, decompose
 from .safety_game import StateSpaceLimit, solve as solve_game
@@ -104,6 +104,15 @@ class SynthesisLimits:
     #: (support-projected letters) or ``"concrete"`` (the full
     #: ``2^|I| * 2^|O|`` reference, used by equivalence tests/benchmarks).
     game_exploration: str = "partial"
+    #: Attractor scheme of the safety game: ``"onthefly"`` (interleaved
+    #: with exploration, early abort once the initial position is losing)
+    #: or ``"offline"`` (full exploration + post-hoc fixpoint reference).
+    game_solving: str = "onthefly"
+    #: SAT encoding of the bounded-synthesis bound ladder:
+    #: ``"incremental"`` (one persistent solver per component/direction,
+    #: learnt clauses survive bound growth) or ``"fresh"`` (a new solver
+    #: per attempt, the differential reference).
+    encoding: str = "incremental"
 
 
 class _ComponentOutcome(NamedTuple):
@@ -149,6 +158,9 @@ def _zero_synthesis_stats() -> Dict[str, int]:
         "sat_decisions": 0,
         "sat_restarts": 0,
         "sat_clause_visits": 0,
+        "game_positions_pruned": 0,
+        "sat_incremental_solves": 0,
+        "sat_learnt_carried": 0,
     }
 
 
@@ -160,6 +172,7 @@ def _record_game(stats: Dict[str, int]) -> None:
         _synthesis_stats["game_solves"] += 1
         _synthesis_stats["game_positions"] += stats.get("positions", 0)
         _synthesis_stats["game_letters"] += stats.get("letters_enumerated", 0)
+        _synthesis_stats["game_positions_pruned"] += stats.get("positions_pruned", 0)
 
 
 def _record_sat(stats: Dict[str, int]) -> None:
@@ -170,6 +183,8 @@ def _record_sat(stats: Dict[str, int]) -> None:
         _synthesis_stats["sat_decisions"] += stats.get("decisions", 0)
         _synthesis_stats["sat_restarts"] += stats.get("restarts", 0)
         _synthesis_stats["sat_clause_visits"] += stats.get("clause_visits", 0)
+        _synthesis_stats["sat_incremental_solves"] += stats.get("incremental_solves", 0)
+        _synthesis_stats["sat_learnt_carried"] += stats.get("learnt_carried", 0)
 
 
 def synthesis_stats() -> Dict[str, int]:
@@ -415,6 +430,24 @@ def _analyze_component(
     # adversary; it is only tractable for small output supports.
     dual_ok = len(local_outputs) <= 8
 
+    # One persistent synthesizer per direction: the bound-growth loops
+    # below only ever grow num_states, so in the default "incremental"
+    # encoding every attempt after the first reuses the learnt clauses,
+    # activity and phases of the previous one (see synthesis.bounded).
+    # Built lazily — a component settled without the dual never pays for
+    # translating the positive specification.
+    _env_synth: List[IncrementalBoundedSynthesizer] = []
+
+    def environment_synth() -> IncrementalBoundedSynthesizer:
+        if not _env_synth:
+            _env_synth.append(
+                IncrementalBoundedSynthesizer.for_environment(
+                    specification, local_inputs, local_outputs,
+                    encoding=limits.encoding,
+                )
+            )
+        return _env_synth[0]
+
     if engine is Engine.SAFETY_GAME:
         for bound in range(1, limits.max_game_bound + 1):
             with _obs_span("solve.game", bound=bound) as sp:
@@ -426,6 +459,7 @@ def _analyze_component(
                         bound=bound,
                         max_positions=limits.max_game_positions,
                         exploration=limits.game_exploration,
+                        solving=limits.game_solving,
                     )
                 except StateSpaceLimit:
                     sp.set(limit="positions")
@@ -441,9 +475,7 @@ def _analyze_component(
                 with _obs_span(
                     "solve.bounded", direction="environment", states=bound
                 ) as sp:
-                    dual = synthesize_environment(
-                        specification, local_inputs, local_outputs, num_states=bound
-                    )
+                    dual = environment_synth().solve(num_states=bound)
                     _record_sat(dual.solver_stats)
                     sp.set(realizable=dual.realizable, **dual.solver_stats)
                 if dual.realizable:
@@ -451,14 +483,15 @@ def _analyze_component(
                     verdict = Verdict.UNREALIZABLE
                     break
     else:
+        system_synth = IncrementalBoundedSynthesizer.for_system(
+            specification, local_inputs, local_outputs, encoding=limits.encoding
+        )
         for size in range(1, max(limits.max_system_states, limits.max_environment_states) + 1):
             if size <= limits.max_system_states:
                 with _obs_span(
                     "solve.bounded", direction="system", states=size
                 ) as sp:
-                    attempt = synthesize(
-                        specification, local_inputs, local_outputs, num_states=size
-                    )
+                    attempt = system_synth.solve(num_states=size)
                     _record_sat(attempt.solver_stats)
                     sp.set(realizable=attempt.realizable, **attempt.solver_stats)
                 if attempt.realizable:
@@ -469,9 +502,7 @@ def _analyze_component(
                 with _obs_span(
                     "solve.bounded", direction="environment", states=size
                 ) as sp:
-                    dual = synthesize_environment(
-                        specification, local_inputs, local_outputs, num_states=size
-                    )
+                    dual = environment_synth().solve(num_states=size)
                     _record_sat(dual.solver_stats)
                     sp.set(realizable=dual.realizable, **dual.solver_stats)
                 if dual.realizable:

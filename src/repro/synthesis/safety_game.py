@@ -18,6 +18,19 @@ game over all ``2^|I| * 2^|O|`` concrete letters, at a cost independent of
 how many don't-care outputs the interface declares.  The pre-quotient
 concrete enumeration is kept behind ``exploration="concrete"`` as the
 reference for the golden equivalence tests and benchmarks.
+
+The losing region is likewise computed **during** exploration rather than
+as a post-hoc fixpoint: every position keeps a safe-move counter per
+input row and a predecessor list, a row exhausting its safe moves marks
+the position losing, and the standard attractor cascade decrements the
+counters of its predecessors — each edge is touched O(1) times instead of
+once per ``while changed`` sweep.  The payoff is on unrealizable-at-bound
+games: the moment the *initial* position falls into the losing region the
+verdict is final, exploration aborts, and every position still waiting on
+the worklist is never expanded (counted as ``positions_pruned``).  The
+full-exploration + post-hoc fixpoint path is kept behind
+``solving="offline"`` as the differential reference, the same pattern as
+``exploration="concrete"``.
 """
 
 from __future__ import annotations
@@ -35,6 +48,9 @@ CountingFunction = Tuple[Tuple[int, int], ...]  # sorted ((state, count), ...)
 #: Letter-enumeration schemes for :func:`solve`.
 EXPLORATION_MODES = ("partial", "concrete")
 
+#: Attractor-computation schemes for :func:`solve`.
+SOLVING_MODES = ("onthefly", "offline")
+
 
 class StateSpaceLimit(RuntimeError):
     """Raised when the explored game graph exceeds the configured cap."""
@@ -49,7 +65,8 @@ class SafetyGameResult:
     bound: int
     positions_explored: int
     #: Work counters: letters enumerated (= counting-function updates), the
-    #: size of the enumerated input/output letter sets and of the support.
+    #: size of the enumerated input/output letter sets and of the support,
+    #: the losing-region size and the positions the early abort skipped.
     stats: Dict[str, int] = field(default_factory=dict, compare=False)
 
 
@@ -60,6 +77,7 @@ def solve(
     bound: int = 2,
     max_positions: int = 200_000,
     exploration: str = "partial",
+    solving: str = "onthefly",
 ) -> SafetyGameResult:
     """Solve the ``bound``-co-Büchi safety game for *specification*.
 
@@ -68,14 +86,41 @@ def solve(
     engine for unrealizability.  ``exploration`` picks the letter scheme:
     ``"partial"`` (support-projected letters, the default) or
     ``"concrete"`` (every subset of the declared alphabet, kept as the
-    equivalence-test reference).
+    equivalence-test reference).  ``solving`` picks the attractor scheme:
+    ``"onthefly"`` (interleaved with exploration, aborting once the
+    initial position is losing — the default) or ``"offline"`` (full
+    exploration followed by the post-hoc fixpoint, kept as the reference).
+    """
+    automaton = translate(Not(specification)).degeneralize()
+    return solve_automaton(
+        automaton, inputs, outputs,
+        bound=bound, max_positions=max_positions,
+        exploration=exploration, solving=solving,
+    )
+
+
+def solve_automaton(
+    automaton: BuchiAutomaton,
+    inputs: Sequence[str],
+    outputs: Sequence[str],
+    bound: int = 2,
+    max_positions: int = 200_000,
+    exploration: str = "partial",
+    solving: str = "onthefly",
+) -> SafetyGameResult:
+    """:func:`solve` for a pre-built (degeneralized) co-Büchi automaton.
+
+    An automaton without accepting sets has no rejecting states: no
+    counter can ever exceed the bound and the game is a plain safety
+    check over the transition structure.
     """
     if exploration not in EXPLORATION_MODES:
         raise ValueError(f"unknown exploration mode: {exploration!r}")
-    automaton = translate(Not(specification)).degeneralize()
-    rejecting = automaton.accepting_sets[0]
+    if solving not in SOLVING_MODES:
+        raise ValueError(f"unknown solving mode: {solving!r}")
+    rejecting = automaton.accepting_sets[0] if automaton.accepting_sets else set()
     game = _Game(automaton, rejecting, tuple(sorted(inputs)), tuple(sorted(outputs)),
-                 bound, max_positions, exploration)
+                 bound, max_positions, exploration, solving)
     return game.solve()
 
 
@@ -89,6 +134,7 @@ class _Game:
         bound: int,
         max_positions: int,
         exploration: str = "partial",
+        solving: str = "onthefly",
     ) -> None:
         self.automaton = automaton
         self.rejecting = rejecting
@@ -97,6 +143,7 @@ class _Game:
         self.bound = bound
         self.max_positions = max_positions
         self.exploration = exploration
+        self.solving = solving
         # Bitmask compilation: propositions get bit positions, transition
         # guards become (positive mask, negative mask) pairs, and letters
         # become integers — letter matching is then two AND operations.
@@ -153,6 +200,18 @@ class _Game:
             CountingFunction, Dict[int, Dict[int, Optional[CountingFunction]]]
         ] = {}
         self.letters_enumerated = 0
+        # On-the-fly attractor state: the losing region so far, the number
+        # of not-yet-losing moves per (position, input row), the reverse
+        # edges feeding the cascade (one entry per edge occurrence, so a
+        # successor's fall into the losing region decrements each counter
+        # exactly as often as the row counted it), and the number of
+        # discovered-but-never-expanded positions at the early abort.
+        self.losing: Set[CountingFunction] = set()
+        self.safe_moves: Dict[Tuple[CountingFunction, int], int] = {}
+        self.predecessors: Dict[
+            CountingFunction, List[Tuple[CountingFunction, int]]
+        ] = {}
+        self.positions_pruned = 0
 
     def _mask(self, names: FrozenSet[str]) -> int:
         mask = 0
@@ -200,9 +259,95 @@ class _Game:
                         worklist.append(successor)
                 table[sigma_mask] = row
 
+    def _explore_onthefly(self) -> None:
+        """Exploration interleaved with the counter-based attractor.
+
+        Losing positions are still fully expanded — the attractor needs
+        their outgoing edges and the explored graph must match the
+        offline reference on realizable games — but the instant the
+        *initial* position turns losing the verdict can no longer change,
+        so everything still waiting on the worklist is abandoned.
+        """
+        worklist = [self.initial]
+        self.successors[self.initial] = {}
+        while worklist:
+            position = worklist.pop()
+            table = self.successors[position]
+            for sigma_mask in self.input_masks:
+                row: Dict[int, Optional[CountingFunction]] = {}
+                safe = 0
+                for out_mask in self.output_masks:
+                    self.letters_enumerated += 1
+                    successor = self._update_mask(position, sigma_mask | out_mask)
+                    row[out_mask] = successor
+                    if successor is None:
+                        continue
+                    if successor not in self.successors:
+                        if len(self.successors) >= self.max_positions:
+                            raise StateSpaceLimit(
+                                f"safety game exceeded {self.max_positions} positions"
+                            )
+                        self.successors[successor] = {}
+                        worklist.append(successor)
+                    self.predecessors.setdefault(successor, []).append(
+                        (position, sigma_mask)
+                    )
+                    if successor not in self.losing:
+                        safe += 1
+                table[sigma_mask] = row
+                self.safe_moves[(position, sigma_mask)] = safe
+                if safe == 0 and position not in self.losing:
+                    self._mark_losing(position)
+                    if self.initial in self.losing:
+                        self.positions_pruned = len(worklist)
+                        return
+
+    def _mark_losing(self, position: CountingFunction) -> None:
+        """Attractor cascade: pull predecessors whose rows run dry."""
+        stack = [position]
+        while stack:
+            fallen = stack.pop()
+            if fallen in self.losing:
+                continue
+            self.losing.add(fallen)
+            for predecessor, sigma_mask in self.predecessors.get(fallen, ()):
+                if predecessor in self.losing:
+                    continue
+                key = (predecessor, sigma_mask)
+                self.safe_moves[key] -= 1
+                if self.safe_moves[key] == 0:
+                    stack.append(predecessor)
+
     # ------------------------------------------------------------------ solve
     def solve(self) -> SafetyGameResult:
-        self._explore()
+        if self.solving == "onthefly":
+            self._explore_onthefly()
+            losing = self.losing
+        else:
+            self._explore()
+            losing = self._offline_losing()
+        # Explored = actually expanded; positions the early abort left on
+        # the worklist were discovered by name but never cost a letter
+        # enumeration, so they count as pruned, not explored.
+        explored = len(self.successors) - self.positions_pruned
+        stats = {
+            "positions": explored,
+            "positions_discovered": len(self.successors),
+            "letters_enumerated": self.letters_enumerated,
+            "input_letters": len(self.input_letters),
+            "output_letters": len(self.output_letters),
+            "support_propositions": self.support_size,
+            "alphabet_propositions": len(self.bit_of),
+            "losing_positions": len(losing),
+            "positions_pruned": self.positions_pruned,
+        }
+        if self.initial in losing:
+            return SafetyGameResult(False, None, self.bound, explored, stats)
+        machine = self._extract(losing)
+        return SafetyGameResult(True, machine, self.bound, explored, stats)
+
+    def _offline_losing(self) -> Set[CountingFunction]:
+        """The post-hoc O(positions^2) fixpoint (reference path)."""
         losing: Set[CountingFunction] = set()
         changed = True
         while changed:
@@ -213,19 +358,7 @@ class _Game:
                 if self._is_losing(table, losing):
                     losing.add(position)
                     changed = True
-        explored = len(self.successors)
-        stats = {
-            "positions": explored,
-            "letters_enumerated": self.letters_enumerated,
-            "input_letters": len(self.input_letters),
-            "output_letters": len(self.output_letters),
-            "support_propositions": self.support_size,
-            "alphabet_propositions": len(self.bit_of),
-        }
-        if self.initial in losing:
-            return SafetyGameResult(False, None, self.bound, explored, stats)
-        machine = self._extract(losing)
-        return SafetyGameResult(True, machine, self.bound, explored, stats)
+        return losing
 
     def _is_losing(
         self,

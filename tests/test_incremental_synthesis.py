@@ -1,0 +1,338 @@
+"""Differential suites for the incremental synthesis engines.
+
+Two new reference seams, same discipline as ``propagation="scan"`` and
+``exploration="concrete"``:
+
+* ``encoding="fresh"`` — the from-scratch bounded-synthesis encoding the
+  persistent :class:`IncrementalBoundedSynthesizer` must agree with:
+  identical verdicts at every step of any monotone bound-growth schedule,
+  extracted ``MealyMachine``s byte-identical (both paths canonicalize the
+  SAT model), and every machine independently verified against the
+  specification.
+
+* ``solving="offline"`` — the full-exploration + post-hoc-fixpoint safety
+  game the on-the-fly attractor must agree with: identical verdicts,
+  losing regions and machines, with ``positions_pruned > 0`` evidencing
+  the early abort on unrealizable-at-bound games.
+
+The Hypothesis schedules are derandomized so CI is deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.buchi import BuchiAutomaton, Label
+from repro.logic import parse
+from repro.synthesis import (
+    Engine,
+    IncrementalBoundedSynthesizer,
+    SynthesisLimits,
+    check_realizability,
+    satisfies_specification,
+    solve_automaton,
+    solve_safety_game,
+)
+
+DETERMINISTIC = settings(max_examples=30, deadline=None, derandomize=True)
+
+#: (text, inputs, outputs) — a mix of realizable, unrealizable-with-dual
+#: and unsatisfiable specifications.
+SPECS = [
+    ("G (r -> X g)", ["r"], ["g"]),
+    ("G (r -> F g)", ["r"], ["g"]),
+    ("G (g <-> X X i)", ["i"], ["g"]),
+    ("G (X g <-> (a || b))", ["a", "b"], ["g"]),
+    ("G (r -> X (g || X g)) && G (!r -> X !g)", ["r"], ["g"]),
+    ("F g && G !g", [], ["g"]),
+]
+
+#: Monotone num_states schedules: cumulative growth steps from 1.
+schedules = st.lists(
+    st.integers(min_value=0, max_value=2), min_size=1, max_size=4
+).map(lambda steps: [1 + sum(steps[: i + 1]) for i in range(len(steps))])
+
+spec_indices = st.integers(min_value=0, max_value=len(SPECS) - 1)
+
+
+class TestIncrementalVsFresh:
+    @given(spec_indices, schedules)
+    @DETERMINISTIC
+    def test_bound_schedules_agree(self, index, schedule):
+        text, inputs, outputs = SPECS[index]
+        specification = parse(text)
+        incremental = IncrementalBoundedSynthesizer.for_system(
+            specification, inputs, outputs
+        )
+        fresh = IncrementalBoundedSynthesizer.for_system(
+            specification, inputs, outputs, encoding="fresh"
+        )
+        for num_states in schedule:
+            a = incremental.solve(num_states)
+            b = fresh.solve(num_states)
+            assert a.realizable == b.realizable, (text, num_states)
+            assert a.num_states == b.num_states
+            assert a.annotation_bound == b.annotation_bound
+            if a.realizable:
+                # Byte-identical canonical machines, independently checked.
+                assert a.machine.transitions == b.machine.transitions
+                assert a.machine.describe() == b.machine.describe()
+                a.machine.check_total()
+                assert satisfies_specification(a.machine, specification), text
+            else:
+                assert a.machine is None and b.machine is None
+
+    @given(spec_indices, schedules)
+    @DETERMINISTIC
+    def test_environment_schedules_agree(self, index, schedule):
+        text, inputs, outputs = SPECS[index]
+        specification = parse(text)
+        incremental = IncrementalBoundedSynthesizer.for_environment(
+            specification, inputs, outputs
+        )
+        fresh = IncrementalBoundedSynthesizer.for_environment(
+            specification, inputs, outputs, encoding="fresh"
+        )
+        for num_states in schedule:
+            a = incremental.solve(num_states)
+            b = fresh.solve(num_states)
+            assert a.realizable == b.realizable, (text, num_states)
+            if a.realizable:
+                assert a.machine.transitions == b.machine.transitions
+                assert a.machine.describe() == b.machine.describe()
+
+    def test_growing_annotation_bound_alone(self):
+        specification = parse("G (g <-> X X i)")
+        incremental = IncrementalBoundedSynthesizer.for_system(
+            specification, ["i"], ["g"]
+        )
+        fresh = IncrementalBoundedSynthesizer.for_system(
+            specification, ["i"], ["g"], encoding="fresh"
+        )
+        for num_states, bound in [(1, 2), (1, 3), (2, 3), (2, 5), (3, 5)]:
+            a = incremental.solve(num_states, bound)
+            b = fresh.solve(num_states, bound)
+            assert a.realizable == b.realizable, (num_states, bound)
+
+    def test_incremental_stats_report_reuse(self):
+        specification = parse("F g && G !g")
+        incremental = IncrementalBoundedSynthesizer.for_system(
+            specification, [], ["g"]
+        )
+        first = incremental.solve(1)
+        second = incremental.solve(2)
+        assert first.solver_stats["incremental_solves"] >= 1
+        assert second.solver_stats["incremental_solves"] >= 1
+        assert second.solver_stats["clauses_added"] > 0
+        # The fresh reference reports no reuse by construction.
+        fresh = IncrementalBoundedSynthesizer.for_system(
+            specification, [], ["g"], encoding="fresh"
+        )
+        result = fresh.solve(2)
+        assert result.solver_stats["incremental_solves"] == 0
+        assert result.solver_stats["learnt_carried"] == 0
+
+    def test_shrinking_bounds_rejected(self):
+        specification = parse("G (r -> X g)")
+        incremental = IncrementalBoundedSynthesizer.for_system(
+            specification, ["r"], ["g"]
+        )
+        incremental.solve(2)
+        with pytest.raises(ValueError):
+            incremental.solve(1)
+        with pytest.raises(ValueError):
+            incremental.solve(2, annotation_bound=1)
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(ValueError):
+            IncrementalBoundedSynthesizer.for_system(
+                parse("G g"), [], ["g"], encoding="clever"
+            )
+
+
+class TestOnTheFlyVsOffline:
+    GAME_SPECS = [
+        ("G (r -> X g)", ["r"], ["g"], [1, 2]),
+        ("G (r -> F g)", ["r"], ["g"], [1, 2]),
+        ("G (g <-> X X i)", ["i"], ["g"], [1, 2, 3]),
+        ("G (r -> F g) && G (c -> !g)", ["r", "c"], ["g"], [1, 2, 3]),
+        ("G F g && G (g -> X !g)", [], ["g"], [1, 2]),
+        ("F g && G !g", [], ["g"], [1, 2]),
+        ("G (r -> X X X X b)", ["r"], ["b"], [1, 2, 3]),
+    ]
+
+    @pytest.mark.parametrize("text,inputs,outputs,bounds", GAME_SPECS)
+    def test_verdicts_and_machines_agree(self, text, inputs, outputs, bounds):
+        for bound in bounds:
+            onthefly = solve_safety_game(
+                parse(text), inputs, outputs, bound=bound
+            )
+            offline = solve_safety_game(
+                parse(text), inputs, outputs, bound=bound, solving="offline"
+            )
+            assert onthefly.realizable == offline.realizable, (text, bound)
+            assert offline.stats["positions_pruned"] == 0
+            if onthefly.realizable:
+                # No abort on realizable games: identical graphs, losing
+                # regions and byte-identical extracted machines.
+                assert onthefly.stats["positions_pruned"] == 0
+                assert (
+                    onthefly.positions_explored == offline.positions_explored
+                )
+                assert (
+                    onthefly.stats["losing_positions"]
+                    == offline.stats["losing_positions"]
+                )
+                assert (
+                    onthefly.machine.transitions == offline.machine.transitions
+                )
+                assert onthefly.machine.describe() == offline.machine.describe()
+            else:
+                assert (
+                    onthefly.positions_explored <= offline.positions_explored
+                )
+                assert (
+                    onthefly.stats["letters_enumerated"]
+                    <= offline.stats["letters_enumerated"]
+                )
+
+    def test_early_abort_prunes_positions(self):
+        # Unrealizable at this bound: the run must abandon worklist
+        # positions and enumerate strictly fewer letters than offline.
+        onthefly = solve_safety_game(parse("G (r -> X X X X b)"), ["r"], ["b"], bound=3)
+        offline = solve_safety_game(
+            parse("G (r -> X X X X b)"), ["r"], ["b"], bound=3, solving="offline"
+        )
+        assert not onthefly.realizable and not offline.realizable
+        assert onthefly.stats["positions_pruned"] > 0
+        assert onthefly.positions_explored < offline.positions_explored
+        assert (
+            onthefly.stats["letters_enumerated"]
+            < offline.stats["letters_enumerated"]
+        )
+
+    def test_case_study_components_equivalent(self):
+        """Table I case studies: every explicitly checkable component's
+        game agrees between on-the-fly and offline solving."""
+        from repro.casestudies import (
+            MODE_SWITCHING_REQUIREMENTS,
+            application_requirements,
+            robot_requirements,
+        )
+        from repro.logic.ast import atoms, conj
+        from repro.synthesis import decompose
+        from repro.translate import TranslationOptions, Translator
+
+        translator = Translator(options=TranslationOptions(next_as_x=False))
+        studies = [
+            ("cara", list(MODE_SWITCHING_REQUIREMENTS)[:10]),
+            ("telepromise", next(iter(sorted(application_requirements().items())))[1]),
+            ("robot", robot_requirements(2, 3)),
+        ]
+        compared = 0
+        for name, requirements in studies:
+            spec = translator.translate(requirements)
+            inputs = frozenset(spec.partition.inputs)
+            outputs = frozenset(spec.partition.outputs)
+            for component in decompose(list(spec.formulas)):
+                specification = conj(component.formulas)
+                if len(atoms(specification)) > 8:
+                    continue
+                local_inputs = sorted(component.variables & inputs)
+                local_outputs = sorted(component.variables & outputs)
+                onthefly = solve_safety_game(
+                    specification, local_inputs, local_outputs, bound=2
+                )
+                offline = solve_safety_game(
+                    specification, local_inputs, local_outputs, bound=2,
+                    solving="offline",
+                )
+                assert onthefly.realizable == offline.realizable, (name, component)
+                assert (
+                    onthefly.stats["losing_positions"]
+                    == offline.stats["losing_positions"]
+                ) or not onthefly.realizable, (name, component)
+                if onthefly.realizable:
+                    assert (
+                        onthefly.machine.transitions
+                        == offline.machine.transitions
+                    ), (name, component)
+                compared += 1
+        assert compared >= 3
+
+    def test_unknown_solving_mode_rejected(self):
+        with pytest.raises(ValueError):
+            solve_safety_game(parse("G g"), [], ["g"], solving="psychic")
+
+
+class TestAutomatonSeam:
+    def test_no_accepting_sets_is_plain_safety(self):
+        # Regression: an automaton without accepting sets used to crash
+        # on accepting_sets[0]; it must solve as a plain safety game.
+        automaton = BuchiAutomaton(atoms=frozenset({"g"}))
+        state = automaton.new_state()
+        automaton.initial = {state}
+        automaton.add_transition(state, Label.of(pos=["g"]), state)
+        result = solve_automaton(automaton, [], ["g"], bound=1)
+        assert result.realizable
+        result.machine.check_total()
+
+    def test_no_accepting_sets_offline_agrees(self):
+        automaton = BuchiAutomaton(atoms=frozenset({"g"}))
+        state = automaton.new_state()
+        automaton.initial = {state}
+        automaton.add_transition(state, Label.of(pos=["g"]), state)
+        onthefly = solve_automaton(automaton, [], ["g"], bound=1)
+        offline = solve_automaton(automaton, [], ["g"], bound=1, solving="offline")
+        assert onthefly.realizable == offline.realizable
+        assert onthefly.machine.describe() == offline.machine.describe()
+
+
+class TestDriverEquivalence:
+    CASES = [
+        ("G (r -> X g)", ["r"], ["g"]),
+        ("G (r -> F g)", ["r"], ["g"]),
+        ("G (g <-> X X i)", ["i"], ["g"]),
+        ("G (r -> g) && G (r -> !g)", ["r"], ["g"]),
+        ("F g && G !g", [], ["g"]),
+    ]
+
+    @pytest.mark.parametrize("engine", [Engine.SAFETY_GAME, Engine.BOUNDED_SAT])
+    @pytest.mark.parametrize("text,inputs,outputs", CASES)
+    def test_reference_knobs_do_not_change_verdicts(
+        self, engine, text, inputs, outputs
+    ):
+        fast = check_realizability(
+            [parse(text)], inputs, outputs, engine=engine,
+            limits=SynthesisLimits(use_obligations=False),
+        )
+        reference = check_realizability(
+            [parse(text)], inputs, outputs, engine=engine,
+            limits=SynthesisLimits(
+                use_obligations=False,
+                encoding="fresh",
+                game_solving="offline",
+            ),
+        )
+        assert fast.verdict is reference.verdict, (engine, text)
+
+    def test_driver_records_new_counters(self):
+        from repro.synthesis import synthesis_stats
+        from repro.synthesis.realizability import clear_caches
+
+        clear_caches()
+        check_realizability(
+            [parse("G (g <-> X X i)")], ["i"], ["g"],
+            engine=Engine.BOUNDED_SAT,
+            limits=SynthesisLimits(use_obligations=False),
+        )
+        stats = synthesis_stats()
+        assert stats["sat_incremental_solves"] > 0
+        clear_caches()
+        check_realizability(
+            [parse("G (r -> X X X X b)")], ["r"], ["b"],
+            limits=SynthesisLimits(use_obligations=False),
+        )
+        assert synthesis_stats()["game_positions_pruned"] > 0

@@ -126,6 +126,130 @@ class TestAssumptionCores:
         assert result.failed_assumptions == [4]
 
 
+class TestIncrementalSolving:
+    """Solver reuse across ``solve()`` calls: clauses added after an
+    answer (with watcher/trail repair) must behave exactly as if the
+    solver had been built from the combined formula, for both
+    propagation schemes, with learnt clauses carried across calls."""
+
+    @given(cnfs, cnfs)
+    @DETERMINISTIC
+    def test_add_clause_after_answer_agrees_with_brute(self, first, second):
+        for mode in ("watch", "scan"):
+            solver = CDCLSolver(build(first), propagation=mode)
+            result = solver.solve()
+            assert bool(result) == (solve_brute(build(first)) is not None), mode
+            for clause in second:
+                solver.add_clause(clause)
+            combined = build(first + second)
+            result = solver.solve()
+            assert bool(result) == (solve_brute(combined) is not None), mode
+            if result:
+                assert_model_satisfies(result, combined, ("incremental", mode))
+
+    @given(cnfs, cnfs, cnfs)
+    @DETERMINISTIC
+    def test_three_epochs_agree_with_brute(self, first, second, third):
+        solver = CDCLSolver(build(first))
+        accumulated = list(first)
+        solver.solve()
+        for chunk in (second, third):
+            for clause in chunk:
+                solver.add_clause(clause)
+            accumulated.extend(chunk)
+            combined = build(accumulated)
+            result = solver.solve()
+            assert bool(result) == (solve_brute(combined) is not None)
+            if result:
+                assert_model_satisfies(result, combined, "epochs")
+        incremental = solver.stats()["incremental"]
+        assert incremental["solves"] == 3
+        assert incremental["clauses_added"] == len(second) + len(third)
+
+    @given(cnfs, assumption_sets)
+    @DETERMINISTIC
+    def test_assumptions_after_clause_additions(self, clause_list, assumptions):
+        solver = CDCLSolver(build([]))
+        solver.solve()
+        for clause in clause_list:
+            solver.add_clause(clause)
+        with_units = build(clause_list)
+        for lit in assumptions:
+            with_units.add([lit])
+        expected = solve_brute(with_units) is not None
+        result = solver.solve(assumptions)
+        assert bool(result) == expected
+        if result:
+            assert_model_satisfies(result, build(clause_list), "assume-after-add")
+            for lit in assumptions:
+                assert result.value(lit), lit
+
+
+class TestActivationLiteralGating:
+    """The retractable-clause-group protocol the incremental synthesis
+    encoding uses: group ``i``'s clauses are widened with ``-act_i``,
+    solved under the assumption ``act_i``, and retired for good by the
+    unit clause ``[-act_i]`` — after which only later groups constrain
+    the solver.  Cross-checked against brute force on the clause sets
+    that are active at each step."""
+
+    ACTS = (NUM_VARS + 1, NUM_VARS + 2)
+
+    def gated(self, chunk, act):
+        return [list(clause) + [-act] for clause in chunk]
+
+    @given(cnfs, cnfs, cnfs)
+    @DETERMINISTIC
+    def test_gated_groups_match_brute(self, permanent, group1, group2):
+        act1, act2 = self.ACTS
+        cnf = build(permanent + self.gated(group1, act1))
+        cnf.num_vars = max(cnf.num_vars, act2)
+        solver = CDCLSolver(cnf)
+        expected = solve_brute(build(permanent + group1)) is not None
+        result = solver.solve([act1])
+        assert bool(result) == expected
+        if result:
+            assert_model_satisfies(result, build(permanent + group1), "epoch-1")
+        # Retire group 1, activate group 2: group 1 must stop constraining.
+        solver.add_clause([-act1])
+        for clause in self.gated(group2, act2):
+            solver.add_clause(clause)
+        expected = solve_brute(build(permanent + group2)) is not None
+        result = solver.solve([act2])
+        assert bool(result) == expected
+        if result:
+            assert_model_satisfies(result, build(permanent + group2), "epoch-2")
+        incremental = solver.stats()["incremental"]
+        assert incremental["solves"] == 2
+        assert incremental["clauses_added"] == len(group2) + 1
+
+    def test_learnt_clauses_survive_growth(self):
+        # A pigeonhole-flavoured UNSAT core forces real conflicts; the
+        # second solve must start with learnt clauses still in the DB.
+        from repro.sat.cnf import CNF as RawCNF
+
+        cnf = RawCNF()
+        n = 4
+        holes = {
+            (p, h): cnf.new_var(f"p{p}h{h}")
+            for p in range(n + 1)
+            for h in range(n)
+        }
+        for p in range(n + 1):
+            cnf.add([holes[(p, h)] for h in range(n)])
+        solver = CDCLSolver(cnf)
+        assert solver.solve()  # satisfiable without exclusivity
+        for h in range(n):
+            for p1 in range(n + 1):
+                for p2 in range(p1 + 1, n + 1):
+                    solver.add_clause([-holes[(p1, h)], -holes[(p2, h)]])
+        assert not solver.solve()  # pigeonhole is UNSAT
+        stats = solver.stats()
+        assert stats["conflicts"] > 0
+        assert not solver.solve()  # re-answer from the same solver
+        assert solver.stats()["incremental"]["learnt_carried"] > 0
+
+
 class TestSeededCorpus:
     """A fixed random corpus on top of Hypothesis, mirroring the historical
     ``random_cnf`` tests but now exercising both propagation schemes and
